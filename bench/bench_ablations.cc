@@ -1,0 +1,154 @@
+// Ablation sweeps for the design choices DESIGN.md calls out:
+//   (a) internal B+ tree fanout (paper Sec 2.2: any tree can host segments)
+//   (b) in-window search policy (paper Sec 4.1.2: binary/linear/exponential)
+//   (c) segment feasibility rule (paper's endpoint line vs PGM-style cone)
+//   (d) buffer sizing policy (generalizes Figure 12's error/2 default)
+
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/fiting_tree.h"
+#include "core/shrinking_cone.h"
+#include "datasets/datasets.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using fitree::Feasibility;
+using fitree::FitingTree;
+using fitree::FitingTreeConfig;
+using fitree::SearchPolicy;
+using fitree::TablePrinter;
+using fitree::Timer;
+using fitree::bench::MeasureMops;
+using fitree::bench::MeasurePerOpNs;
+
+template <int kSlots>
+void FanoutRow(TablePrinter& table, const std::vector<int64_t>& keys,
+               const std::vector<int64_t>& probes) {
+  FitingTreeConfig config;
+  config.error = 256.0;
+  config.buffer_size = 0;
+  auto tree = FitingTree<int64_t, kSlots, kSlots>::Create(keys, config);
+  const double ns = MeasurePerOpNs(probes.size(), [&](size_t i) {
+    return tree->Contains(probes[i]) ? 1 : 0;
+  });
+  table.AddRow({std::to_string(kSlots), std::to_string(tree->TreeHeight()),
+                TablePrinter::Fmt(
+                    static_cast<double>(tree->IndexSizeBytes()) / 1024.0, 1),
+                TablePrinter::Fmt(ns, 1)});
+}
+
+void RunFanout(const std::vector<int64_t>& keys,
+               const std::vector<int64_t>& probes) {
+  fitree::bench::PrintHeader(
+      "Ablation (a): internal B+ tree node slots (error=256)");
+  TablePrinter table({"node_slots", "height", "index_KB", "ns_per_lookup"});
+  FanoutRow<8>(table, keys, probes);
+  FanoutRow<16>(table, keys, probes);
+  FanoutRow<32>(table, keys, probes);
+  FanoutRow<64>(table, keys, probes);
+  FanoutRow<128>(table, keys, probes);
+  table.Print(std::cout);
+}
+
+void RunSearchPolicy(const std::vector<int64_t>& keys,
+                     const std::vector<int64_t>& probes) {
+  fitree::bench::PrintHeader("Ablation (b): in-window search policy");
+  TablePrinter table({"error", "binary_ns", "linear_ns", "exponential_ns"});
+  for (double error : {64.0, 1024.0, 16384.0}) {
+    std::vector<double> ns;
+    for (auto policy : {SearchPolicy::kBinary, SearchPolicy::kLinear,
+                        SearchPolicy::kExponential}) {
+      FitingTreeConfig config;
+      config.error = error;
+      config.buffer_size = 0;
+      config.search_policy = policy;
+      auto tree = FitingTree<int64_t>::Create(keys, config);
+      ns.push_back(MeasurePerOpNs(probes.size(), [&](size_t i) {
+        return tree->Contains(probes[i]) ? 1 : 0;
+      }));
+    }
+    table.AddRow({TablePrinter::Fmt(error, 0), TablePrinter::Fmt(ns[0], 1),
+                  TablePrinter::Fmt(ns[1], 1), TablePrinter::Fmt(ns[2], 1)});
+  }
+  table.Print(std::cout);
+}
+
+void RunFeasibility(const std::vector<int64_t>& keys,
+                    const std::vector<int64_t>& probes) {
+  fitree::bench::PrintHeader(
+      "Ablation (c): segment feasibility rule (endpoint = paper, cone = "
+      "PGM-style)");
+  TablePrinter table({"error", "endpoint_segments", "cone_segments",
+                      "endpoint_ns", "cone_ns"});
+  for (double error : {64.0, 256.0, 1024.0}) {
+    std::vector<size_t> segments;
+    std::vector<double> ns;
+    for (auto mode : {Feasibility::kEndpointLine, Feasibility::kCone}) {
+      FitingTreeConfig config;
+      config.error = error;
+      config.buffer_size = 0;
+      config.feasibility = mode;
+      auto tree = FitingTree<int64_t>::Create(keys, config);
+      segments.push_back(tree->SegmentCount());
+      ns.push_back(MeasurePerOpNs(probes.size(), [&](size_t i) {
+        return tree->Contains(probes[i]) ? 1 : 0;
+      }));
+    }
+    table.AddRow({TablePrinter::Fmt(error, 0),
+                  TablePrinter::Fmt(static_cast<uint64_t>(segments[0])),
+                  TablePrinter::Fmt(static_cast<uint64_t>(segments[1])),
+                  TablePrinter::Fmt(ns[0], 1), TablePrinter::Fmt(ns[1], 1)});
+  }
+  table.Print(std::cout);
+}
+
+void RunBufferPolicy(const std::vector<int64_t>& keys,
+                     const std::vector<int64_t>& probes,
+                     const std::vector<int64_t>& inserts) {
+  fitree::bench::PrintHeader(
+      "Ablation (d): buffer fraction of error (error=1024)");
+  TablePrinter table({"buffer_fraction", "lookup_ns", "insert_Mops",
+                      "merges"});
+  const double error = 1024.0;
+  for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    FitingTreeConfig config;
+    config.error = error;
+    config.buffer_size = static_cast<size_t>(error * frac);
+    auto tree = FitingTree<int64_t>::Create(keys, config);
+    // A zero buffer merges a whole segment on every insert (that is the
+    // point); fewer inserts keep that cell from dominating the run.
+    const size_t ops = frac == 0.0 ? inserts.size() / 50 : inserts.size();
+    const double mops =
+        MeasureMops(ops, [&](size_t i) { tree->Insert(inserts[i]); });
+    const double ns = MeasurePerOpNs(probes.size(), [&](size_t i) {
+      return tree->Contains(probes[i]) ? 1 : 0;
+    });
+    table.AddRow({TablePrinter::Fmt(frac, 2), TablePrinter::Fmt(ns, 1),
+                  TablePrinter::Fmt(mops, 3),
+                  TablePrinter::Fmt(tree->stats().segment_merges)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = fitree::bench::ScaledN(1000000);
+  const auto keys = fitree::datasets::Weblogs(n, 1);
+  const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
+      keys, fitree::bench::ScaledN(200000),
+      fitree::workloads::Access::kUniform, 0.0, 2);
+  const auto inserts = fitree::workloads::MakeInserts<int64_t>(
+      keys, fitree::bench::ScaledN(200000), 3);
+
+  RunFanout(keys, probes);
+  RunSearchPolicy(keys, probes);
+  RunFeasibility(keys, probes);
+  RunBufferPolicy(keys, probes, inserts);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary prints the paper-style series for its table/figure using
+// TablePrinter. Sizes scale with FITREE_BENCH_SCALE (default 1); paper-scale
+// runs need a bigger machine, but shapes and crossovers reproduce at the
+// defaults (see EXPERIMENTS.md).
+
+#ifndef FITREE_BENCH_BENCH_COMMON_H_
+#define FITREE_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/timer.h"
+
+namespace fitree::bench {
+
+// Base element count scaled by the FITREE_BENCH_SCALE environment variable.
+inline size_t ScaledN(size_t base) {
+  const int64_t scale = GetEnvInt64("FITREE_BENCH_SCALE", 1);
+  return base * static_cast<size_t>(scale < 1 ? 1 : scale);
+}
+
+// Defeats dead-code elimination of measured loops.
+inline void SinkValue(uint64_t v) {
+  static volatile uint64_t g_sink = 0;
+  g_sink = g_sink + v;
+}
+
+// Measures the average latency of `body(i)` over `ops` calls, in ns/op.
+// `body` must return a value that is accumulated into a sink to defeat
+// dead-code elimination.
+template <typename Body>
+double MeasurePerOpNs(size_t ops, Body body) {
+  uint64_t sink = 0;
+  Timer timer;
+  for (size_t i = 0; i < ops; ++i) {
+    sink += static_cast<uint64_t>(body(i));
+  }
+  const double ns = static_cast<double>(timer.ElapsedNs());
+  // Publish the sink so the compiler cannot drop the loop.
+  SinkValue(sink);
+  return ns / static_cast<double>(ops);
+}
+
+// Per-thread average latency when `threads` workers issue `ops` lookups in
+// total against a shared read-only index (how the paper reports Figure 6:
+// "latency per thread"). `body(i)` must be thread-safe for concurrent
+// callers. Falls back to the single-threaded path for threads <= 1.
+template <typename Body>
+double MeasurePerOpNsParallel(size_t ops, int threads, Body body) {
+  if (threads <= 1) return MeasurePerOpNs(ops, body);
+  const size_t per_thread = ops / static_cast<size_t>(threads);
+  Timer timer;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      uint64_t sink = 0;
+      const size_t begin = static_cast<size_t>(t) * per_thread;
+      for (size_t i = begin; i < begin + per_thread; ++i) {
+        sink += static_cast<uint64_t>(body(i));
+      }
+      SinkValue(sink);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double ns = static_cast<double>(timer.ElapsedNs());
+  return ns / static_cast<double>(per_thread);
+}
+
+// Throughput in million operations per second for a timed mutation loop.
+template <typename Body>
+double MeasureMops(size_t ops, Body body) {
+  Timer timer;
+  for (size_t i = 0; i < ops; ++i) body(i);
+  const double seconds = timer.ElapsedSeconds();
+  return static_cast<double>(ops) / seconds / 1e6;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace fitree::bench
+
+#endif  // FITREE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,93 @@
+// Figure 10: cost-model accuracy on Weblogs.
+//
+// 10a compares the model's estimated lookup latency against the measured
+// latency across error thresholds; the estimate should upper-bound the
+// measurement (the model charges a full cache miss per access and ignores
+// cache hits). 10b compares estimated vs measured index size; the estimate
+// should be pessimistic but close.
+//
+// The random-access cost `c` is calibrated on this machine with the same
+// kind of pointer-chase tool the paper used (it measured c = 50ns).
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/memory_cost.h"
+#include "common/table_printer.h"
+#include "core/cost_model.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using fitree::CostModelParams;
+  using fitree::FitingTree;
+  using fitree::FitingTreeConfig;
+  using fitree::TablePrinter;
+  using fitree::bench::MeasurePerOpNs;
+
+  const size_t n = fitree::bench::ScaledN(2000000);
+  const size_t probes_n = fitree::bench::ScaledN(200000);
+  const auto keys = fitree::datasets::Weblogs(n, 1);
+  const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
+      keys, probes_n, fitree::workloads::Access::kUniform, 0.0, 2);
+
+  CostModelParams params;
+  // Calibrate c with a pointer chase over a data-sized working set.
+  params.cache_miss_ns =
+      fitree::MeasureRandomAccessNs(std::min<uint64_t>(
+          keys.size() * sizeof(int64_t), 256ull << 20));
+  params.fanout = 16.0;
+  params.fill = 0.5;
+  params.buffer_size = 0.0;
+
+  fitree::bench::PrintHeader(
+      "Figure 10: cost model accuracy on Weblogs (n=" + std::to_string(n) +
+      ", calibrated c=" + TablePrinter::Fmt(params.cache_miss_ns, 1) + "ns)");
+
+  TablePrinter table({"error", "est_latency_ns", "meas_latency_ns",
+                      "est_size_KB", "meas_size_KB"});
+  for (double error : {16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0}) {
+    FitingTreeConfig config;
+    config.error = error;
+    config.buffer_size = 0;
+    auto tree = FitingTree<int64_t>::Create(keys, config);
+    const double measured_ns = MeasurePerOpNs(probes.size(), [&](size_t i) {
+      return tree->Contains(probes[i]) ? 1 : 0;
+    });
+    const auto se = static_cast<double>(tree->SegmentCount());
+    const double est_ns = EstimateLookupLatencyNs(error, se, params);
+    const double est_size = EstimateIndexSizeBytes(se, params);
+    table.AddRow({TablePrinter::Fmt(error, 0),
+                  TablePrinter::Fmt(est_ns, 1),
+                  TablePrinter::Fmt(measured_ns, 1),
+                  TablePrinter::Fmt(est_size / 1024.0, 2),
+                  TablePrinter::Fmt(
+                      static_cast<double>(tree->IndexSizeBytes()) / 1024.0,
+                      2)});
+  }
+  table.Print(std::cout);
+
+  // Demonstrate the two DBA-facing selectors (paper Eq. 6.1-2 / 6.2-2).
+  const std::vector<double> candidates{16.0, 64.0, 256.0, 1024.0, 4096.0,
+                                       16384.0};
+  const auto curve = fitree::LearnSegmentCurve<int64_t>(keys, candidates);
+  fitree::bench::PrintHeader("Error selection demos");
+  if (const auto pick = PickErrorForLatency(curve, params, 1000.0, candidates);
+      pick.has_value()) {
+    std::cout << "latency SLA 1000ns -> error " << pick->error
+              << " (est latency " << pick->est_latency_ns << "ns, est size "
+              << pick->est_size_bytes / 1024.0 << "KB)\n";
+  }
+  if (const auto pick =
+          PickErrorForSpace(curve, params, 256.0 * 1024, candidates);
+      pick.has_value()) {
+    std::cout << "space budget 256KB -> error " << pick->error
+              << " (est latency " << pick->est_latency_ns << "ns, est size "
+              << pick->est_size_bytes / 1024.0 << "KB)\n";
+  }
+  return 0;
+}

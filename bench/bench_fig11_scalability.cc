@@ -1,0 +1,83 @@
+// Figure 11: data-size scalability on Weblogs.
+//
+// Lookup latency across scale factors with error = page size = 100 (the
+// paper's optimum for this dataset). Expected shape: the three tree-based
+// methods grow slowly (log_b n) and track each other, binary search grows
+// fastest (log2 n), and FITing-Tree stays within a whisker of the full
+// index while using a vanishing fraction of its memory (also reported).
+
+#include <iostream>
+#include <string>
+
+#include "baselines/binary_search_index.h"
+#include "baselines/full_index.h"
+#include "baselines/paged_index.h"
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using fitree::BinarySearchIndex;
+  using fitree::FitingTree;
+  using fitree::FitingTreeConfig;
+  using fitree::FullIndex;
+  using fitree::PagedIndex;
+  using fitree::PagedIndexConfig;
+  using fitree::TablePrinter;
+  using fitree::bench::MeasurePerOpNs;
+
+  const size_t base = fitree::bench::ScaledN(1000000);
+  const size_t probes_n = fitree::bench::ScaledN(200000);
+  fitree::bench::PrintHeader(
+      "Figure 11: scalability on Weblogs (base n=" + std::to_string(base) +
+      ", error=page=100)");
+  TablePrinter table({"scale", "n", "FITing_ns", "Fixed_ns", "Full_ns",
+                      "Binary_ns", "FITing_MB", "Full_MB"});
+
+  for (size_t scale : {1u, 2u, 4u, 8u, 16u}) {
+    const size_t n = base * scale;
+    const auto keys = fitree::datasets::Weblogs(n, 1);
+    const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
+        keys, probes_n, fitree::workloads::Access::kUniform, 0.0, 3);
+
+    FitingTreeConfig fconfig;
+    fconfig.error = 100.0;
+    fconfig.buffer_size = 0;
+    auto fiting = FitingTree<int64_t>::Create(keys, fconfig);
+    PagedIndexConfig pconfig;
+    pconfig.page_size = 100;
+    pconfig.buffer_size = 0;
+    auto paged = PagedIndex<int64_t>::Create(keys, pconfig);
+    FullIndex<int64_t> full{std::span<const int64_t>(keys)};
+    BinarySearchIndex<int64_t> binary{std::span<const int64_t>(keys)};
+
+    const double fiting_ns = MeasurePerOpNs(probes.size(), [&](size_t i) {
+      return fiting->Contains(probes[i]) ? 1 : 0;
+    });
+    const double paged_ns = MeasurePerOpNs(probes.size(), [&](size_t i) {
+      return paged->Contains(probes[i]) ? 1 : 0;
+    });
+    const double full_ns = MeasurePerOpNs(probes.size(), [&](size_t i) {
+      return full.Contains(probes[i]) ? 1 : 0;
+    });
+    const double binary_ns = MeasurePerOpNs(probes.size(), [&](size_t i) {
+      return binary.Contains(probes[i]) ? 1 : 0;
+    });
+
+    const double kMB = 1024.0 * 1024.0;
+    table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(scale)),
+                  TablePrinter::Fmt(static_cast<uint64_t>(n)),
+                  TablePrinter::Fmt(fiting_ns, 1),
+                  TablePrinter::Fmt(paged_ns, 1),
+                  TablePrinter::Fmt(full_ns, 1),
+                  TablePrinter::Fmt(binary_ns, 1),
+                  TablePrinter::Fmt(
+                      static_cast<double>(fiting->IndexSizeBytes()) / kMB, 3),
+                  TablePrinter::Fmt(
+                      static_cast<double>(full.IndexSizeBytes()) / kMB, 3)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

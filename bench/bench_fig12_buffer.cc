@@ -1,0 +1,61 @@
+// Figure 12 (appendix): insert throughput as a function of the per-segment
+// buffer size, on Weblogs with error = 20000.
+//
+// Expected shape: throughput rises with the buffer size (fewer
+// merge-and-resegment events), approaching a plateau — the DBA's
+// read-vs-write-optimized dial (paper Appendix A.2).
+
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using fitree::FitingTree;
+  using fitree::FitingTreeConfig;
+  using fitree::TablePrinter;
+  using fitree::bench::MeasureMops;
+
+  const size_t n = fitree::bench::ScaledN(1000000);
+  // Small buffers at error=20000 merge ~hundred-thousand-key segments
+  // every few inserts (that is the point of the figure); keep the insert
+  // count modest so the worst cell finishes in seconds.
+  const size_t inserts_n = fitree::bench::ScaledN(60000);
+  const double error = 20000.0;
+  const auto keys = fitree::datasets::Weblogs(n, 1);
+  const auto inserts =
+      fitree::workloads::MakeInserts<int64_t>(keys, inserts_n, 2);
+
+  fitree::bench::PrintHeader(
+      "Figure 12: insert throughput vs buffer size (Weblogs, n=" +
+      std::to_string(n) + ", error=20000)");
+  TablePrinter table({"buffer_size", "insert_Mops", "segment_merges",
+                      "lookup_ns"});
+
+  const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
+      keys, 100000, fitree::workloads::Access::kUniform, 0.0, 3);
+
+  for (size_t buffer : {10u, 100u, 1000u, 10000u}) {
+    FitingTreeConfig config;
+    config.error = error;
+    config.buffer_size = buffer;
+    auto tree = FitingTree<int64_t>::Create(keys, config);
+    const double mops = MeasureMops(
+        inserts.size(), [&](size_t i) { tree->Insert(inserts[i]); });
+    // Larger buffers trade read latency for write throughput; report both.
+    const double lookup_ns =
+        fitree::bench::MeasurePerOpNs(probes.size(), [&](size_t i) {
+          return tree->Contains(probes[i]) ? 1 : 0;
+        });
+    table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(buffer)),
+                  TablePrinter::Fmt(mops, 3),
+                  TablePrinter::Fmt(tree->stats().segment_merges),
+                  TablePrinter::Fmt(lookup_ns, 1)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

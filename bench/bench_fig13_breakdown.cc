@@ -1,0 +1,73 @@
+// Figure 13 (appendix): lookup time breakdown — tree descent vs. in-page
+// search — for FITing-Tree and the fixed-paging baseline across error /
+// page-size scales.
+//
+// Expected shape: at small errors the B+ tree dominates both methods, but
+// FITing-Tree's tree is much smaller (fewer entries), so its tree share
+// shrinks faster; at huge errors nearly all time goes to the in-segment
+// search for both.
+
+#include <iostream>
+#include <string>
+
+#include "baselines/paged_index.h"
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using fitree::FitingTree;
+  using fitree::FitingTreeConfig;
+  using fitree::PagedIndex;
+  using fitree::PagedIndexConfig;
+  using fitree::TablePrinter;
+
+  const size_t n = fitree::bench::ScaledN(1000000);
+  const size_t probes_n = fitree::bench::ScaledN(100000);
+  const auto keys = fitree::datasets::Weblogs(n, 1);
+  const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
+      keys, probes_n, fitree::workloads::Access::kUniform, 0.0, 2);
+
+  fitree::bench::PrintHeader(
+      "Figure 13: lookup breakdown, tree% vs page% (Weblogs, n=" +
+      std::to_string(n) + ")");
+  TablePrinter table({"error/page", "FITing_tree%", "FITing_page%",
+                      "Fixed_tree%", "Fixed_page%"});
+
+  for (double scale : {10.0, 100.0, 1000.0, 10000.0, 100000.0}) {
+    FitingTreeConfig fconfig;
+    fconfig.error = scale;
+    fconfig.buffer_size = 0;
+    auto fiting = FitingTree<int64_t>::Create(keys, fconfig);
+    int64_t f_tree_ns = 0, f_page_ns = 0;
+    for (size_t i = 0; i < probes.size(); ++i) {
+      fiting->ContainsWithBreakdown(probes[i], &f_tree_ns, &f_page_ns);
+    }
+
+    PagedIndexConfig pconfig;
+    pconfig.page_size = static_cast<size_t>(scale);
+    pconfig.buffer_size = 0;
+    auto paged = PagedIndex<int64_t>::Create(keys, pconfig);
+    int64_t p_tree_ns = 0, p_page_ns = 0;
+    for (size_t i = 0; i < probes.size(); ++i) {
+      paged->ContainsWithBreakdown(probes[i], &p_tree_ns, &p_page_ns);
+    }
+
+    const double f_total = static_cast<double>(f_tree_ns + f_page_ns);
+    const double p_total = static_cast<double>(p_tree_ns + p_page_ns);
+    table.AddRow(
+        {TablePrinter::Fmt(scale, 0),
+         TablePrinter::Fmt(100.0 * static_cast<double>(f_tree_ns) / f_total,
+                           1),
+         TablePrinter::Fmt(100.0 * static_cast<double>(f_page_ns) / f_total,
+                           1),
+         TablePrinter::Fmt(100.0 * static_cast<double>(p_tree_ns) / p_total,
+                           1),
+         TablePrinter::Fmt(100.0 * static_cast<double>(p_page_ns) / p_total,
+                           1)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Figure 6 (a, b, c): lookup latency vs. index size.
+//
+// For each dataset (Weblogs, IoT, Maps) this sweeps the FITing-Tree error
+// threshold and the fixed-paging page size, and reports one series per
+// method: index size (MB) against average lookup latency (ns). The Full
+// (dense) index is a single point and binary search is the zero-space
+// reference, exactly as in the paper's plots.
+//
+// Expected shape (paper Sec 7.1.2): FITing-Tree dominates fixed paging at
+// every size, matches the full index's latency at a small fraction of its
+// size, and both paged methods converge to binary search as the index
+// shrinks to a handful of entries.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/binary_search_index.h"
+#include "baselines/full_index.h"
+#include "baselines/paged_index.h"
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using fitree::BinarySearchIndex;
+using fitree::FitingTree;
+using fitree::FitingTreeConfig;
+using fitree::FullIndex;
+using fitree::PagedIndex;
+using fitree::PagedIndexConfig;
+using fitree::TablePrinter;
+using fitree::bench::MeasurePerOpNsParallel;
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+void RunDataset(fitree::datasets::RealWorld which, size_t n, size_t probes_n,
+                int threads) {
+  const auto keys = fitree::datasets::Generate(which, n, 42);
+  const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
+      keys, probes_n, fitree::workloads::Access::kUniform,
+      /*absent_fraction=*/0.0, 43);
+
+  fitree::bench::PrintHeader("Figure 6: " + fitree::datasets::Name(which) +
+                             " (n=" + std::to_string(n) + ", " +
+                             std::to_string(threads) + " thread(s))");
+  TablePrinter table({"method", "param", "index_size_MB", "ns_per_lookup"});
+
+  // FITing-Tree error sweep (read-only: no insert buffers, as in the
+  // paper's lookup experiment).
+  for (double error : {16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0,
+                       65536.0, 262144.0}) {
+    FitingTreeConfig config;
+    config.error = error;
+    config.buffer_size = 0;
+    auto tree = FitingTree<int64_t>::Create(keys, config);
+    const double ns = MeasurePerOpNsParallel(probes.size(), threads,
+                                             [&](size_t i) {
+      return tree->Contains(probes[i]) ? 1 : 0;
+    });
+    table.AddRow({"FITing-Tree", "e=" + TablePrinter::Fmt(error, 0),
+                  TablePrinter::Fmt(
+                      static_cast<double>(tree->IndexSizeBytes()) / kMB, 4),
+                  TablePrinter::Fmt(ns, 1)});
+  }
+
+  // Fixed-size paging sweep over the same granularities.
+  for (size_t page : {16u, 64u, 256u, 1024u, 4096u, 16384u, 65536u,
+                      262144u}) {
+    PagedIndexConfig config;
+    config.page_size = page;
+    config.buffer_size = 0;
+    auto index = PagedIndex<int64_t>::Create(keys, config);
+    const double ns = MeasurePerOpNsParallel(probes.size(), threads,
+                                             [&](size_t i) {
+      return index->Contains(probes[i]) ? 1 : 0;
+    });
+    table.AddRow(
+        {"Fixed", "page=" + std::to_string(page),
+         TablePrinter::Fmt(static_cast<double>(index->IndexSizeBytes()) / kMB,
+                           4),
+         TablePrinter::Fmt(ns, 1)});
+  }
+
+  // Full (dense) index: one point.
+  {
+    FullIndex<int64_t> full{std::span<const int64_t>(keys)};
+    const double ns = MeasurePerOpNsParallel(probes.size(), threads,
+                                             [&](size_t i) {
+      return full.Contains(probes[i]) ? 1 : 0;
+    });
+    table.AddRow(
+        {"Full", "-",
+         TablePrinter::Fmt(static_cast<double>(full.IndexSizeBytes()) / kMB,
+                           4),
+         TablePrinter::Fmt(ns, 1)});
+  }
+
+  // Binary search: zero space.
+  {
+    BinarySearchIndex<int64_t> binary{std::span<const int64_t>(keys)};
+    const double ns = MeasurePerOpNsParallel(probes.size(), threads,
+                                             [&](size_t i) {
+      return binary.Contains(probes[i]) ? 1 : 0;
+    });
+    table.AddRow({"Binary", "-", "0.0000", TablePrinter::Fmt(ns, 1)});
+  }
+
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = fitree::bench::ScaledN(8000000);
+  const size_t probes = fitree::bench::ScaledN(300000);
+  // The paper reports per-thread latency; FITREE_BENCH_THREADS > 1 shares
+  // each index among that many lookup threads (reads are thread-safe).
+  const int threads =
+      static_cast<int>(fitree::GetEnvInt64("FITREE_BENCH_THREADS", 1));
+  for (auto which : {fitree::datasets::RealWorld::kWeblogs,
+                     fitree::datasets::RealWorld::kIot,
+                     fitree::datasets::RealWorld::kMaps}) {
+    RunDataset(which, n, probes, threads);
+  }
+  return 0;
+}

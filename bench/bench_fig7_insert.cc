@@ -1,0 +1,86 @@
+// Figure 7 (a, b, c): insert throughput vs. error threshold.
+//
+// Bulk-loads each dataset, then times a stream of inserts drawn from the
+// same distribution. FITing-Tree uses a buffer of error/2 (paper Sec
+// 7.1.3); the Fixed baseline uses page = error with a half-page buffer; the
+// Full index inserts straight into its B+ tree.
+//
+// Expected shape: Full is fastest (no page splits); FITing-Tree is
+// comparable to Fixed, and can beat it at small errors where frequent
+// resegmentation stays cheap (paper Sec 7.1.3).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/full_index.h"
+#include "baselines/paged_index.h"
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using fitree::FitingTree;
+using fitree::FitingTreeConfig;
+using fitree::FullIndex;
+using fitree::PagedIndex;
+using fitree::PagedIndexConfig;
+using fitree::TablePrinter;
+using fitree::bench::MeasureMops;
+
+void RunDataset(fitree::datasets::RealWorld which, size_t n,
+                size_t inserts_n) {
+  const auto keys = fitree::datasets::Generate(which, n, 7);
+  const auto inserts =
+      fitree::workloads::MakeInserts<int64_t>(keys, inserts_n, 8);
+
+  fitree::bench::PrintHeader("Figure 7: " + fitree::datasets::Name(which) +
+                             " (n=" + std::to_string(n) + ", " +
+                             std::to_string(inserts_n) + " inserts)");
+  TablePrinter table(
+      {"error", "FITing-Tree_M/s", "Fixed_M/s", "Full_M/s"});
+
+  for (double error : {16.0, 64.0, 256.0, 1024.0}) {
+    // FITing-Tree with buffer = error/2.
+    FitingTreeConfig fconfig;
+    fconfig.error = error;
+    auto fiting = FitingTree<int64_t>::Create(keys, fconfig);
+    const double fiting_mops = MeasureMops(
+        inserts.size(), [&](size_t i) { fiting->Insert(inserts[i]); });
+
+    // Fixed paging with page = error, buffer = page/2.
+    PagedIndexConfig pconfig;
+    pconfig.page_size = static_cast<size_t>(error);
+    auto paged = PagedIndex<int64_t>::Create(keys, pconfig);
+    const double paged_mops = MeasureMops(
+        inserts.size(), [&](size_t i) { paged->Insert(inserts[i]); });
+
+    // Full index.
+    FullIndex<int64_t> full{std::span<const int64_t>(keys)};
+    const double full_mops = MeasureMops(
+        inserts.size(), [&](size_t i) { full.Insert(inserts[i]); });
+
+    table.AddRow({TablePrinter::Fmt(error, 0),
+                  TablePrinter::Fmt(fiting_mops, 3),
+                  TablePrinter::Fmt(paged_mops, 3),
+                  TablePrinter::Fmt(full_mops, 3)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = fitree::bench::ScaledN(1000000);
+  const size_t inserts = fitree::bench::ScaledN(500000);
+  for (auto which : {fitree::datasets::RealWorld::kWeblogs,
+                     fitree::datasets::RealWorld::kIot,
+                     fitree::datasets::RealWorld::kMaps}) {
+    RunDataset(which, n, inserts);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 8: the non-linearity ratio of each dataset across error scales.
+//
+// ratio(e) = S_e * (e + 1) / |D|, i.e. the observed segment count relative
+// to the worst case at that scale (Theorem 3.1). Expected shape: IoT shows
+// one strong bump (daily periodicity), Weblogs several overlapping bumps,
+// Maps stays near-linear until very large scales.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/non_linearity.h"
+#include "datasets/datasets.h"
+
+int main() {
+  using fitree::TablePrinter;
+  const size_t n = fitree::bench::ScaledN(2000000);
+  fitree::bench::PrintHeader("Figure 8: non-linearity ratio (n=" +
+                             std::to_string(n) + ")");
+
+  const auto weblogs = fitree::datasets::Weblogs(n, 1);
+  const auto iot = fitree::datasets::Iot(n, 2);
+  const auto maps = fitree::datasets::Maps(n, 3);
+
+  TablePrinter table({"error", "Weblogs", "IoT", "Maps"});
+  for (double error = 10.0; error <= 1e7; error *= 10.0) {
+    table.AddRow(
+        {TablePrinter::Fmt(error, 0),
+         TablePrinter::Fmt(
+             fitree::NonLinearityRatio<int64_t>(weblogs, error), 4),
+         TablePrinter::Fmt(fitree::NonLinearityRatio<int64_t>(iot, error),
+                           4),
+         TablePrinter::Fmt(fitree::NonLinearityRatio<int64_t>(maps, error),
+                           4)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

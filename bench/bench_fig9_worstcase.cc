@@ -1,0 +1,62 @@
+// Figure 9: worst-case (step-function) data.
+//
+// 9a is the dataset itself (plot via examples/plot_mapping); 9b is the
+// index size as a function of the error threshold. Expected shape: below
+// the step size FITing-Tree matches the fixed-paging size (one segment per
+// step, i.e. per `error` keys) while staying below the full index; once the
+// error passes the step size the whole dataset collapses into a single
+// segment and the index size drops by orders of magnitude.
+
+#include <iostream>
+#include <string>
+
+#include "baselines/full_index.h"
+#include "baselines/paged_index.h"
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+
+int main() {
+  using fitree::FitingTree;
+  using fitree::FitingTreeConfig;
+  using fitree::FullIndex;
+  using fitree::PagedIndex;
+  using fitree::PagedIndexConfig;
+  using fitree::TablePrinter;
+
+  const size_t n = fitree::bench::ScaledN(1000000);
+  const size_t step = 100;
+  const auto keys = fitree::datasets::Step(n, step);
+  fitree::bench::PrintHeader(
+      "Figure 9b: worst-case step data, index size vs error (n=" +
+      std::to_string(n) + ", step=" + std::to_string(step) + ")");
+
+  FullIndex<int64_t> full{std::span<const int64_t>(keys)};
+  const double kMB = 1024.0 * 1024.0;
+
+  TablePrinter table({"error", "FITing_MB", "FITing_segments", "Fixed_MB",
+                      "Full_MB"});
+  for (double error = 10.0; error <= 1e6; error *= 10.0) {
+    FitingTreeConfig fconfig;
+    fconfig.error = error;
+    fconfig.buffer_size = 0;
+    auto fiting = FitingTree<int64_t>::Create(keys, fconfig);
+
+    PagedIndexConfig pconfig;
+    pconfig.page_size = static_cast<size_t>(error);
+    auto paged = PagedIndex<int64_t>::Create(keys, pconfig);
+
+    table.AddRow(
+        {TablePrinter::Fmt(error, 0),
+         TablePrinter::Fmt(
+             static_cast<double>(fiting->IndexSizeBytes()) / kMB, 5),
+         TablePrinter::Fmt(static_cast<uint64_t>(fiting->SegmentCount())),
+         TablePrinter::Fmt(
+             static_cast<double>(paged->IndexSizeBytes()) / kMB, 5),
+         TablePrinter::Fmt(static_cast<double>(full.IndexSizeBytes()) / kMB,
+                           5)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

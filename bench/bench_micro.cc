@@ -1,0 +1,151 @@
+// Micro-benchmarks of the core operations under google-benchmark: point
+// lookups for every index structure, inserts, segmentation throughput and
+// B+ tree primitives. Complements the per-figure series binaries with
+// statistically managed single-operation numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/binary_search_index.h"
+#include "baselines/full_index.h"
+#include "baselines/paged_index.h"
+#include "btree/btree_map.h"
+#include "core/fiting_tree.h"
+#include "core/optimal_segmentation.h"
+#include "core/shrinking_cone.h"
+#include "datasets/datasets.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+constexpr size_t kN = 1000000;
+constexpr size_t kProbes = 1 << 16;
+
+const std::vector<int64_t>& Keys() {
+  static const std::vector<int64_t>* keys =
+      new std::vector<int64_t>(fitree::datasets::Weblogs(kN, 1));
+  return *keys;
+}
+
+const std::vector<int64_t>& Probes() {
+  static const std::vector<int64_t>* probes =
+      new std::vector<int64_t>(fitree::workloads::MakeLookupProbes<int64_t>(
+          Keys(), kProbes, fitree::workloads::Access::kUniform, 0.0, 2));
+  return *probes;
+}
+
+void BM_FitingTreeLookup(benchmark::State& state) {
+  fitree::FitingTreeConfig config;
+  config.error = static_cast<double>(state.range(0));
+  config.buffer_size = 0;
+  auto tree = fitree::FitingTree<int64_t>::Create(Keys(), config);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Contains(Probes()[i++ & (kProbes - 1)]));
+  }
+  state.counters["segments"] =
+      static_cast<double>(tree->SegmentCount());
+  state.counters["index_bytes"] =
+      static_cast<double>(tree->IndexSizeBytes());
+}
+BENCHMARK(BM_FitingTreeLookup)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_PagedIndexLookup(benchmark::State& state) {
+  fitree::PagedIndexConfig config;
+  config.page_size = static_cast<size_t>(state.range(0));
+  config.buffer_size = 0;
+  auto index = fitree::PagedIndex<int64_t>::Create(Keys(), config);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Contains(Probes()[i++ & (kProbes - 1)]));
+  }
+  state.counters["index_bytes"] =
+      static_cast<double>(index->IndexSizeBytes());
+}
+BENCHMARK(BM_PagedIndexLookup)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_FullIndexLookup(benchmark::State& state) {
+  fitree::FullIndex<int64_t> index{std::span<const int64_t>(Keys())};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Contains(Probes()[i++ & (kProbes - 1)]));
+  }
+  state.counters["index_bytes"] =
+      static_cast<double>(index.IndexSizeBytes());
+}
+BENCHMARK(BM_FullIndexLookup);
+
+void BM_BinarySearchLookup(benchmark::State& state) {
+  fitree::BinarySearchIndex<int64_t> index{std::span<const int64_t>(Keys())};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Contains(Probes()[i++ & (kProbes - 1)]));
+  }
+}
+BENCHMARK(BM_BinarySearchLookup);
+
+void BM_FitingTreeInsert(benchmark::State& state) {
+  const auto inserts = fitree::workloads::MakeInserts<int64_t>(
+      Keys(), 1 << 20, 3);
+  fitree::FitingTreeConfig config;
+  config.error = static_cast<double>(state.range(0));
+  auto tree = fitree::FitingTree<int64_t>::Create(Keys(), config);
+  size_t i = 0;
+  for (auto _ : state) {
+    tree->Insert(inserts[i++ & ((1 << 20) - 1)]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FitingTreeInsert)->Arg(64)->Arg(1024);
+
+void BM_ShrinkingCone(benchmark::State& state) {
+  const auto& keys = Keys();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fitree::SegmentShrinkingCone<int64_t>(keys, 100.0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_ShrinkingCone);
+
+void BM_OptimalSegmentation(benchmark::State& state) {
+  const std::vector<int64_t> sample(Keys().begin(),
+                                    Keys().begin() + state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fitree::OptimalSegmentCount<int64_t>(sample, 100.0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OptimalSegmentation)->Arg(10000)->Arg(50000);
+
+void BM_BTreeMapInsert(benchmark::State& state) {
+  fitree::btree::BTreeMap<int64_t, int64_t> tree;
+  int64_t i = 0;
+  for (auto _ : state) {
+    tree.Insert(i, i);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeMapInsert);
+
+void BM_BTreeMapFind(benchmark::State& state) {
+  fitree::btree::BTreeMap<int64_t, int64_t> tree;
+  std::vector<std::pair<int64_t, int64_t>> items;
+  for (int64_t i = 0; i < 1000000; ++i) items.emplace_back(i * 7, i);
+  tree.BulkLoad(std::move(items));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto probe = static_cast<int64_t>(i * 977 % 1000000) * 7;
+    ++i;
+    benchmark::DoNotOptimize(tree.Find(probe));
+  }
+}
+BENCHMARK(BM_BTreeMapFind);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Range queries (paper Section 4.2 — discussed but not plotted).
+//
+// A range query finds its start with a point lookup and then scans
+// sequentially, so at low selectivity the index dominates cost and at high
+// selectivity the scan does. This bench sweeps selectivity and compares
+// FITing-Tree against the full index, binary search and (for count-only
+// queries) the static variant's O(log) rank subtraction.
+
+#include <iostream>
+#include <string>
+
+#include "baselines/binary_search_index.h"
+#include "baselines/full_index.h"
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/fiting_tree.h"
+#include "core/static_fiting_tree.h"
+#include "datasets/datasets.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using fitree::BinarySearchIndex;
+  using fitree::FitingTree;
+  using fitree::FitingTreeConfig;
+  using fitree::StaticFitingTree;
+  using fitree::TablePrinter;
+  using fitree::bench::MeasurePerOpNs;
+
+  const size_t n = fitree::bench::ScaledN(4000000);
+  const auto keys = fitree::datasets::Weblogs(n, 1);
+
+  FitingTreeConfig config;
+  config.error = 256.0;
+  config.buffer_size = 0;
+  auto fiting = FitingTree<int64_t>::Create(keys, config);
+  auto fixed = StaticFitingTree<int64_t>::Create(keys, 256.0);
+  BinarySearchIndex<int64_t> binary{std::span<const int64_t>(keys)};
+
+  fitree::bench::PrintHeader(
+      "Range queries on Weblogs (n=" + std::to_string(n) + ", error=256)");
+  TablePrinter table({"selectivity", "FITing_scan_ns", "Binary_scan_ns",
+                      "Static_count_ns"});
+
+  for (double selectivity : {0.00001, 0.0001, 0.001, 0.01}) {
+    const auto queries = fitree::workloads::MakeRangeQueries<int64_t>(
+        keys, 2000, selectivity, 7);
+
+    const double fiting_ns = MeasurePerOpNs(queries.size(), [&](size_t i) {
+      size_t count = 0;
+      fiting->ScanRange(queries[i].lo, queries[i].hi,
+                        [&count](int64_t) { ++count; });
+      return count;
+    });
+    const double binary_ns = MeasurePerOpNs(queries.size(), [&](size_t i) {
+      size_t count = 0;
+      binary.ScanRange(queries[i].lo, queries[i].hi,
+                       [&count](int64_t) { ++count; });
+      return count;
+    });
+    // Count-only ranges collapse to two rank lookups on the static variant.
+    const double static_ns = MeasurePerOpNs(queries.size(), [&](size_t i) {
+      return fixed->RangeCount(queries[i].lo, queries[i].hi);
+    });
+
+    table.AddRow({TablePrinter::Fmt(selectivity, 5),
+                  TablePrinter::Fmt(fiting_ns, 0),
+                  TablePrinter::Fmt(binary_ns, 0),
+                  TablePrinter::Fmt(static_ns, 0)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
