@@ -1,0 +1,51 @@
+// The zero-space baseline: no index at all, just binary search over the
+// sorted data array (the lower-left anchor of the paper's Figure 6 plots).
+
+#ifndef FITREE_BASELINES_BINARY_SEARCH_INDEX_H_
+#define FITREE_BASELINES_BINARY_SEARCH_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <span>
+
+namespace fitree {
+
+template <typename K>
+class BinarySearchIndex {
+ public:
+  // Holds a view of the caller's sorted keys; the caller keeps them alive.
+  explicit BinarySearchIndex(std::span<const K> keys) : keys_(keys) {}
+
+  bool Contains(const K& key) const {
+    return std::binary_search(keys_.begin(), keys_.end(), key);
+  }
+
+  // The rank of `key` when present.
+  std::optional<size_t> Find(const K& key) const {
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it != keys_.end() && *it == key) {
+      return static_cast<size_t>(it - keys_.begin());
+    }
+    return std::nullopt;
+  }
+
+  // Calls fn(key) for every key in [lo, hi] in ascending order.
+  template <typename Fn>
+  void ScanRange(const K& lo, const K& hi, Fn fn) const {
+    for (auto it = std::lower_bound(keys_.begin(), keys_.end(), lo);
+         it != keys_.end() && *it <= hi; ++it) {
+      fn(*it);
+    }
+  }
+
+  size_t IndexSizeBytes() const { return 0; }
+  size_t size() const { return keys_.size(); }
+
+ private:
+  std::span<const K> keys_;
+};
+
+}  // namespace fitree
+
+#endif  // FITREE_BASELINES_BINARY_SEARCH_INDEX_H_

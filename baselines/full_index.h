@@ -1,0 +1,57 @@
+// The dense ("full") index baseline: every key goes into a B+ tree, the
+// upper-right anchor of Figure 6 — fastest lookups, largest index. Inserts
+// go straight into the tree (Figure 7's Full series).
+
+#ifndef FITREE_BASELINES_FULL_INDEX_H_
+#define FITREE_BASELINES_FULL_INDEX_H_
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "btree/btree_map.h"
+
+namespace fitree {
+
+template <typename K>
+class FullIndex {
+ public:
+  explicit FullIndex(std::span<const K> keys) {
+    std::vector<std::pair<K, K>> items;
+    items.reserve(keys.size());
+    for (const K& key : keys) items.emplace_back(key, key);
+    tree_.BulkLoad(std::move(items));
+  }
+
+  bool Contains(const K& key) const { return tree_.Contains(key); }
+
+  std::optional<K> Find(const K& key) const {
+    const K* value = tree_.Find(key);
+    return value == nullptr ? std::nullopt : std::optional<K>(*value);
+  }
+
+  void Insert(const K& key) { tree_.Insert(key, key); }
+
+  // Calls fn(key) for every key in [lo, hi] in ascending order.
+  template <typename Fn>
+  void ScanRange(const K& lo, const K& hi, Fn fn) const {
+    tree_.ScanFrom(lo, [&](const K& key, const K&) {
+      if (key > hi) return false;
+      fn(key);
+      return true;
+    });
+  }
+
+  size_t IndexSizeBytes() const { return tree_.MemoryBytes(); }
+  size_t size() const { return tree_.size(); }
+  int TreeHeight() const { return tree_.Height(); }
+
+ private:
+  btree::BTreeMap<K, K, 64, 64> tree_;
+};
+
+}  // namespace fitree
+
+#endif  // FITREE_BASELINES_FULL_INDEX_H_

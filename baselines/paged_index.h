@@ -1,0 +1,209 @@
+// Fixed-size paging baseline (paper Sec 7.1's "Fixed" method): the sorted
+// data is chopped into pages of a constant number of keys and a B+ tree
+// indexes each page's first key. Structurally identical to FITing-Tree —
+// directory, pages, per-page insert buffers — except that page boundaries
+// ignore the data distribution, which is exactly the contrast the paper's
+// figures draw.
+
+#ifndef FITREE_BASELINES_PAGED_INDEX_H_
+#define FITREE_BASELINES_PAGED_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "btree/btree_map.h"
+#include "common/timer.h"
+
+namespace fitree {
+
+struct PagedIndexConfig {
+  // Sentinel: size the buffer as max(1, page_size/2), mirroring
+  // FITing-Tree's error/2 default so Figure 7 compares like for like.
+  static constexpr size_t kAutoBufferSize = static_cast<size_t>(-1);
+
+  size_t page_size = 256;
+  // Per-page insert-buffer capacity; 0 merges on every insert.
+  size_t buffer_size = kAutoBufferSize;
+};
+
+template <typename K>
+class PagedIndex {
+ public:
+  static std::unique_ptr<PagedIndex<K>> Create(const std::vector<K>& keys,
+                                               const PagedIndexConfig& config) {
+    auto index = std::make_unique<PagedIndex<K>>();
+    index->config_ = config;
+    if (index->config_.page_size == 0) index->config_.page_size = 1;
+    index->effective_buffer_ =
+        config.buffer_size == PagedIndexConfig::kAutoBufferSize
+            ? std::max<size_t>(1, index->config_.page_size / 2)
+            : config.buffer_size;
+    index->BulkLoad(std::span<const K>(keys));
+    return index;
+  }
+
+  size_t size() const { return size_; }
+  size_t PageCount() const { return live_pages_; }
+
+  bool Contains(const K& key) const {
+    const Page* page = LocatePage(key);
+    if (page == nullptr) return false;
+    return SearchPage(*page, key);
+  }
+
+  bool ContainsWithBreakdown(const K& key, int64_t* tree_ns,
+                             int64_t* page_ns) const {
+    Timer timer;
+    const Page* page = LocatePage(key);
+    *tree_ns += timer.ElapsedNs();
+    timer.Reset();
+    const bool found = page != nullptr && SearchPage(*page, key);
+    *page_ns += timer.ElapsedNs();
+    return found;
+  }
+
+  // Inserts `key` (set semantics). A full page buffer merges and re-chops
+  // the page into fixed-size pages.
+  void Insert(const K& key) {
+    Page* page = LocatePageMutable(key);
+    if (page == nullptr) {
+      auto fresh = std::make_unique<Page>();
+      fresh->first_key = key;
+      fresh->keys.push_back(key);
+      directory_.Insert(key, fresh.get());
+      pages_.push_back(std::move(fresh));
+      ++live_pages_;
+      ++size_;
+      return;
+    }
+    if (SearchPage(*page, key)) return;
+    auto pos = std::lower_bound(page->buffer.begin(), page->buffer.end(), key);
+    page->buffer.insert(pos, key);
+    ++size_;
+    if (page->buffer.size() > effective_buffer_) MergePage(page);
+  }
+
+  // Calls fn(key) for every key in [lo, hi] in ascending order.
+  template <typename Fn>
+  void ScanRange(const K& lo, const K& hi, Fn fn) const {
+    if (live_pages_ == 0 || hi < lo) return;
+    K start_key;
+    if (directory_.FindFloor(lo, &start_key) == nullptr) {
+      directory_.First(&start_key);
+    }
+    directory_.ScanFrom(start_key, [&](const K& first_key, Page* page) {
+      if (first_key > hi) return false;
+      EmitRange(*page, lo, hi, fn);
+      return true;
+    });
+  }
+
+  // Directory plus per-page headers; the pages themselves are data.
+  size_t IndexSizeBytes() const {
+    return directory_.MemoryBytes() + live_pages_ * kPageMetaBytes;
+  }
+
+  int TreeHeight() const { return directory_.Height(); }
+
+ private:
+  struct Page {
+    K first_key{};
+    std::vector<K> keys;    // sorted, at most page_size entries
+    std::vector<K> buffer;  // sorted insert buffer
+  };
+
+  static constexpr size_t kPageMetaBytes = sizeof(K) + sizeof(void*);
+
+  void BulkLoad(std::span<const K> keys) {
+    size_ = keys.size();
+    if (keys.empty()) return;
+    std::vector<std::pair<K, Page*>> entries;
+    for (size_t begin = 0; begin < keys.size();
+         begin += config_.page_size) {
+      const size_t end = std::min(keys.size(), begin + config_.page_size);
+      auto page = std::make_unique<Page>();
+      page->first_key = keys[begin];
+      page->keys.assign(keys.begin() + begin, keys.begin() + end);
+      entries.emplace_back(page->first_key, page.get());
+      pages_.push_back(std::move(page));
+    }
+    live_pages_ = pages_.size();
+    directory_.BulkLoad(std::move(entries));
+  }
+
+  const Page* LocatePage(const K& key) const {
+    Page* const* page = directory_.FindFloor(key);
+    if (page == nullptr) page = directory_.First();
+    return page == nullptr ? nullptr : *page;
+  }
+
+  Page* LocatePageMutable(const K& key) {
+    return const_cast<Page*>(LocatePage(key));
+  }
+
+  bool SearchPage(const Page& page, const K& key) const {
+    return std::binary_search(page.keys.begin(), page.keys.end(), key) ||
+           std::binary_search(page.buffer.begin(), page.buffer.end(), key);
+  }
+
+  template <typename Fn>
+  void EmitRange(const Page& page, const K& lo, const K& hi, Fn& fn) const {
+    auto k = std::lower_bound(page.keys.begin(), page.keys.end(), lo);
+    auto b = std::lower_bound(page.buffer.begin(), page.buffer.end(), lo);
+    while (k != page.keys.end() || b != page.buffer.end()) {
+      const bool take_key =
+          b == page.buffer.end() || (k != page.keys.end() && *k <= *b);
+      const K value = take_key ? *k : *b;
+      if (value > hi) return;
+      fn(value);
+      if (take_key) {
+        ++k;
+      } else {
+        ++b;
+      }
+    }
+  }
+
+  void MergePage(Page* page) {
+    std::vector<K> merged(page->keys.size() + page->buffer.size());
+    std::merge(page->keys.begin(), page->keys.end(), page->buffer.begin(),
+               page->buffer.end(), merged.begin());
+    directory_.Erase(page->first_key);
+    size_t begin = 0;
+    bool reused = false;
+    while (begin < merged.size()) {
+      const size_t end = std::min(merged.size(), begin + config_.page_size);
+      Page* target;
+      if (!reused) {
+        target = page;
+        reused = true;
+      } else {
+        pages_.push_back(std::make_unique<Page>());
+        target = pages_.back().get();
+        ++live_pages_;
+      }
+      target->first_key = merged[begin];
+      target->keys.assign(merged.begin() + begin, merged.begin() + end);
+      target->buffer.clear();
+      target->buffer.shrink_to_fit();
+      directory_.Insert(target->first_key, target);
+      begin = end;
+    }
+  }
+
+  PagedIndexConfig config_;
+  size_t effective_buffer_ = 0;
+  std::vector<std::unique_ptr<Page>> pages_;
+  btree::BTreeMap<K, Page*, 64, 64> directory_;
+  size_t live_pages_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace fitree
+
+#endif  // FITREE_BASELINES_PAGED_INDEX_H_

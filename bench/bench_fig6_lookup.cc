@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 

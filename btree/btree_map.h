@@ -1,0 +1,406 @@
+// A cache-friendly in-memory B+ tree.
+//
+// Serves two roles in the repo: the standalone ordered-map competitor for the
+// Figure 7/11 experiments (via baselines/full_index.h), and the inner "tree
+// over segments" directory inside FITing-Tree, the fixed-paging baseline and
+// the static tree (paper Sec 2.2: any tree structure can host the segment
+// endpoints; we use a B+ tree like the paper's Stx-based implementation).
+//
+// Design notes:
+//  - Leaves hold the entries and form a doubly-linked list for ordered scans
+//    and floor queries across lazily-emptied leaves.
+//  - Inner nodes route with upper_bound semantics: child i covers keys in
+//    [keys[i-1], keys[i]).
+//  - Erase is lazy (no rebalancing): entries are removed from leaves, which
+//    may underflow or empty entirely; routing and scans stay correct because
+//    separators are upper bounds, not stored keys. The index workloads erase
+//    only on segment merges, which immediately re-insert, so occupancy stays
+//    healthy.
+//  - BulkLoad packs leaves fully and builds inner levels bottom-up, which is
+//    what makes the read-only trees in the lookup figures compact.
+
+#ifndef FITREE_BTREE_BTREE_MAP_H_
+#define FITREE_BTREE_BTREE_MAP_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace fitree::btree {
+
+template <typename K, typename V, int kLeafSlots = 64,
+          int kInnerSlots = kLeafSlots>
+class BTreeMap {
+  static_assert(kLeafSlots >= 2, "leaves need at least two slots");
+  static_assert(kInnerSlots >= 3, "inner nodes need at least three slots");
+  static_assert(std::is_trivially_copyable_v<K>);
+  static_assert(std::is_trivially_copyable_v<V>);
+
+ public:
+  BTreeMap() = default;
+  ~BTreeMap() { Clear(); }
+
+  BTreeMap(const BTreeMap&) = delete;
+  BTreeMap& operator=(const BTreeMap&) = delete;
+
+  BTreeMap(BTreeMap&& other) noexcept { Swap(other); }
+  BTreeMap& operator=(BTreeMap&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      Swap(other);
+    }
+    return *this;
+  }
+
+  void Clear() {
+    if (root_ != nullptr) FreeRec(root_, height_);
+    root_ = nullptr;
+    height_ = 0;
+    size_ = 0;
+    leaf_nodes_ = 0;
+    inner_nodes_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Node levels including the leaf level (0 when empty).
+  int Height() const { return root_ == nullptr ? 0 : height_ + 1; }
+
+  size_t MemoryBytes() const {
+    return leaf_nodes_ * sizeof(LeafNode) + inner_nodes_ * sizeof(InnerNode);
+  }
+
+  // Inserts or overwrites. Returns true when a new entry was created.
+  bool Insert(const K& key, const V& value) {
+    if (root_ == nullptr) {
+      LeafNode* leaf = NewLeaf();
+      leaf->keys[0] = key;
+      leaf->values[0] = value;
+      leaf->count = 1;
+      root_ = leaf;
+      size_ = 1;
+      return true;
+    }
+    SplitResult split;
+    bool inserted = false;
+    InsertRec(root_, height_, key, value, &split, &inserted);
+    if (split.right != nullptr) {
+      InnerNode* new_root = NewInner();
+      new_root->keys[0] = split.key;
+      new_root->children[0] = root_;
+      new_root->children[1] = split.right;
+      new_root->count = 1;
+      root_ = new_root;
+      ++height_;
+    }
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  // Removes `key` if present (lazy: no rebalancing). Returns true on removal.
+  bool Erase(const K& key) {
+    LeafNode* leaf = DescendToLeaf(key);
+    if (leaf == nullptr) return false;
+    const int pos = LowerBound(leaf->keys, leaf->count, key);
+    if (pos >= leaf->count || leaf->keys[pos] != key) return false;
+    for (int i = pos; i + 1 < leaf->count; ++i) {
+      leaf->keys[i] = leaf->keys[i + 1];
+      leaf->values[i] = leaf->values[i + 1];
+    }
+    --leaf->count;
+    --size_;
+    return true;
+  }
+
+  const V* Find(const K& key) const {
+    const LeafNode* leaf = DescendToLeaf(key);
+    if (leaf == nullptr) return nullptr;
+    const int pos = LowerBound(leaf->keys, leaf->count, key);
+    if (pos < leaf->count && leaf->keys[pos] == key) return &leaf->values[pos];
+    return nullptr;
+  }
+
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  // Greatest entry with entry.key <= key. Returns null when every key is
+  // greater than `key` (or the tree is empty).
+  const V* FindFloor(const K& key, K* out_key = nullptr) const {
+    const LeafNode* leaf = DescendToLeaf(key);
+    if (leaf == nullptr) return nullptr;
+    // Last in-leaf key <= `key`, else the last entry of the nearest earlier
+    // non-empty leaf (all earlier keys sort below this leaf's lower bound,
+    // which is <= `key` by the descent).
+    int pos = UpperBound(leaf->keys, leaf->count, key) - 1;
+    while (pos < 0) {
+      leaf = leaf->prev;
+      if (leaf == nullptr) return nullptr;
+      pos = leaf->count - 1;
+    }
+    if (out_key != nullptr) *out_key = leaf->keys[pos];
+    return &leaf->values[pos];
+  }
+
+  // Smallest entry, or null when empty.
+  const V* First(K* out_key = nullptr) const {
+    const void* node = root_;
+    if (node == nullptr) return nullptr;
+    for (int level = height_; level > 0; --level) {
+      node = static_cast<const InnerNode*>(node)->children[0];
+    }
+    const LeafNode* leaf = static_cast<const LeafNode*>(node);
+    while (leaf != nullptr && leaf->count == 0) leaf = leaf->next;
+    if (leaf == nullptr) return nullptr;
+    if (out_key != nullptr) *out_key = leaf->keys[0];
+    return &leaf->values[0];
+  }
+
+  // Calls fn(key, value) for each entry with key >= lo, in ascending key
+  // order, until fn returns false or the entries run out.
+  template <typename Fn>
+  void ScanFrom(const K& lo, Fn fn) const {
+    const LeafNode* leaf = DescendToLeaf(lo);
+    if (leaf == nullptr) return;
+    int pos = LowerBound(leaf->keys, leaf->count, lo);
+    while (leaf != nullptr) {
+      for (; pos < leaf->count; ++pos) {
+        if (!fn(leaf->keys[pos], leaf->values[pos])) return;
+      }
+      leaf = leaf->next;
+      pos = 0;
+    }
+  }
+
+  // Replaces the contents with `items`, which must be sorted by key with no
+  // duplicates. Leaves are packed full and inner levels built bottom-up.
+  void BulkLoad(std::vector<std::pair<K, V>>&& items) {
+    Clear();
+    if (items.empty()) return;
+    size_ = items.size();
+
+    // Level 0: packed leaves chained into the linked list.
+    std::vector<std::pair<K, void*>> level;  // (first key of subtree, node)
+    level.reserve(items.size() / kLeafSlots + 1);
+    LeafNode* prev = nullptr;
+    for (size_t begin = 0; begin < items.size(); begin += kLeafSlots) {
+      const size_t end = std::min(items.size(), begin + kLeafSlots);
+      LeafNode* leaf = NewLeaf();
+      for (size_t i = begin; i < end; ++i) {
+        leaf->keys[i - begin] = items[i].first;
+        leaf->values[i - begin] = items[i].second;
+      }
+      leaf->count = static_cast<int>(end - begin);
+      leaf->prev = prev;
+      if (prev != nullptr) prev->next = leaf;
+      prev = leaf;
+      level.emplace_back(leaf->keys[0], leaf);
+    }
+
+    // Upper levels: group kInnerSlots+1 children per inner node; the
+    // separator for child i is the first key of its subtree.
+    int levels_built = 0;
+    while (level.size() > 1) {
+      std::vector<std::pair<K, void*>> next_level;
+      const size_t group = static_cast<size_t>(kInnerSlots) + 1;
+      size_t begin = 0;
+      while (begin < level.size()) {
+        size_t end = std::min(level.size(), begin + group);
+        // Avoid a trailing one-child node: leave it two from the previous
+        // group instead.
+        if (end - begin == group && level.size() - end == 1) --end;
+        InnerNode* inner = NewInner();
+        inner->children[0] = level[begin].second;
+        int count = 0;
+        for (size_t i = begin + 1; i < end; ++i) {
+          inner->keys[count] = level[i].first;
+          inner->children[count + 1] = level[i].second;
+          ++count;
+        }
+        inner->count = count;
+        next_level.emplace_back(level[begin].first, inner);
+        begin = end;
+      }
+      level = std::move(next_level);
+      ++levels_built;
+    }
+    root_ = level[0].second;
+    height_ = levels_built;
+  }
+
+ private:
+  struct LeafNode {
+    int count = 0;
+    LeafNode* next = nullptr;
+    LeafNode* prev = nullptr;
+    K keys[kLeafSlots];
+    V values[kLeafSlots];
+  };
+
+  struct InnerNode {
+    int count = 0;  // separator keys; child pointers = count + 1
+    K keys[kInnerSlots];
+    void* children[kInnerSlots + 1];
+  };
+
+  struct SplitResult {
+    K key{};
+    void* right = nullptr;
+  };
+
+  LeafNode* NewLeaf() {
+    ++leaf_nodes_;
+    return new LeafNode();
+  }
+
+  InnerNode* NewInner() {
+    ++inner_nodes_;
+    return new InnerNode();
+  }
+
+  void FreeRec(void* node, int level) {
+    if (level > 0) {
+      InnerNode* inner = static_cast<InnerNode*>(node);
+      for (int i = 0; i <= inner->count; ++i) FreeRec(inner->children[i], level - 1);
+      delete inner;
+      --inner_nodes_;
+    } else {
+      delete static_cast<LeafNode*>(node);
+      --leaf_nodes_;
+    }
+  }
+
+  static int LowerBound(const K* keys, int count, const K& key) {
+    return static_cast<int>(std::lower_bound(keys, keys + count, key) - keys);
+  }
+
+  static int UpperBound(const K* keys, int count, const K& key) {
+    return static_cast<int>(std::upper_bound(keys, keys + count, key) - keys);
+  }
+
+  const LeafNode* DescendToLeaf(const K& key) const {
+    const void* node = root_;
+    if (node == nullptr) return nullptr;
+    for (int level = height_; level > 0; --level) {
+      const InnerNode* inner = static_cast<const InnerNode*>(node);
+      node = inner->children[UpperBound(inner->keys, inner->count, key)];
+    }
+    return static_cast<const LeafNode*>(node);
+  }
+
+  LeafNode* DescendToLeaf(const K& key) {
+    return const_cast<LeafNode*>(
+        static_cast<const BTreeMap*>(this)->DescendToLeaf(key));
+  }
+
+  // Inserts into the subtree at `node` (at `level` inner levels above the
+  // leaves). On node split, fills `*split` for the caller to link in.
+  void InsertRec(void* node, int level, const K& key, const V& value,
+                 SplitResult* split, bool* inserted) {
+    split->right = nullptr;
+    if (level == 0) {
+      InsertLeaf(static_cast<LeafNode*>(node), key, value, split, inserted);
+      return;
+    }
+    InnerNode* inner = static_cast<InnerNode*>(node);
+    const int child = UpperBound(inner->keys, inner->count, key);
+    SplitResult child_split;
+    InsertRec(inner->children[child], level - 1, key, value, &child_split,
+              inserted);
+    if (child_split.right == nullptr) return;
+
+    if (inner->count < kInnerSlots) {
+      InsertSeparator(inner, child, child_split);
+      return;
+    }
+    // Split the inner node around the median separator, then place the new
+    // separator into the proper half.
+    const int mid = inner->count / 2;
+    InnerNode* right = NewInner();
+    const K promoted = inner->keys[mid];
+    right->count = inner->count - mid - 1;
+    for (int i = 0; i < right->count; ++i) right->keys[i] = inner->keys[mid + 1 + i];
+    for (int i = 0; i <= right->count; ++i) right->children[i] = inner->children[mid + 1 + i];
+    inner->count = mid;
+
+    if (child_split.key < promoted) {
+      const int pos = UpperBound(inner->keys, inner->count, child_split.key);
+      InsertSeparator(inner, pos, child_split);
+    } else {
+      const int pos = UpperBound(right->keys, right->count, child_split.key);
+      InsertSeparator(right, pos, child_split);
+    }
+    split->key = promoted;
+    split->right = right;
+  }
+
+  // Inserts (split.key, split.right) after child index `child`.
+  void InsertSeparator(InnerNode* inner, int child, const SplitResult& split) {
+    for (int i = inner->count; i > child; --i) {
+      inner->keys[i] = inner->keys[i - 1];
+      inner->children[i + 1] = inner->children[i];
+    }
+    inner->keys[child] = split.key;
+    inner->children[child + 1] = split.right;
+    ++inner->count;
+  }
+
+  void InsertLeaf(LeafNode* leaf, const K& key, const V& value,
+                  SplitResult* split, bool* inserted) {
+    int pos = LowerBound(leaf->keys, leaf->count, key);
+    if (pos < leaf->count && leaf->keys[pos] == key) {
+      leaf->values[pos] = value;  // upsert
+      *inserted = false;
+      return;
+    }
+    *inserted = true;
+    if (leaf->count == kLeafSlots) {
+      // Split, then insert into the proper half.
+      LeafNode* right = NewLeaf();
+      const int mid = kLeafSlots / 2;
+      right->count = kLeafSlots - mid;
+      for (int i = 0; i < right->count; ++i) {
+        right->keys[i] = leaf->keys[mid + i];
+        right->values[i] = leaf->values[mid + i];
+      }
+      leaf->count = mid;
+      right->next = leaf->next;
+      if (right->next != nullptr) right->next->prev = right;
+      right->prev = leaf;
+      leaf->next = right;
+      split->key = right->keys[0];
+      split->right = right;
+      LeafNode* target = key < right->keys[0] ? leaf : right;
+      pos = LowerBound(target->keys, target->count, key);
+      leaf = target;
+    }
+    for (int i = leaf->count; i > pos; --i) {
+      leaf->keys[i] = leaf->keys[i - 1];
+      leaf->values[i] = leaf->values[i - 1];
+    }
+    leaf->keys[pos] = key;
+    leaf->values[pos] = value;
+    ++leaf->count;
+  }
+
+  void Swap(BTreeMap& other) {
+    std::swap(root_, other.root_);
+    std::swap(height_, other.height_);
+    std::swap(size_, other.size_);
+    std::swap(leaf_nodes_, other.leaf_nodes_);
+    std::swap(inner_nodes_, other.inner_nodes_);
+  }
+
+  void* root_ = nullptr;
+  int height_ = 0;  // inner levels above the leaf level
+  size_t size_ = 0;
+  size_t leaf_nodes_ = 0;
+  size_t inner_nodes_ = 0;
+};
+
+}  // namespace fitree::btree
+
+#endif  // FITREE_BTREE_BTREE_MAP_H_

@@ -1,0 +1,53 @@
+// Calibrates the random-access (cache miss) cost `c` used by the cost model
+// (paper Sec 5 measured c = 50ns on its hardware). A Sattolo-cycle pointer
+// chase defeats both the prefetcher and out-of-order overlap, so each hop
+// pays the full dependent-load latency of the given working-set size.
+
+#ifndef FITREE_COMMON_MEMORY_COST_H_
+#define FITREE_COMMON_MEMORY_COST_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace fitree {
+
+// Average latency in ns of a dependent random read over a working set of
+// `working_set_bytes`. Small working sets report cache latency; sets larger
+// than LLC report DRAM latency.
+inline double MeasureRandomAccessNs(uint64_t working_set_bytes) {
+  const size_t slots =
+      static_cast<size_t>(working_set_bytes / sizeof(uint32_t));
+  if (slots < 2) return 1.0;
+
+  // next[i] holds the next index of a single random cycle through all slots
+  // (Sattolo's algorithm), so the chase touches every slot exactly once per
+  // lap in unpredictable order.
+  std::vector<uint32_t> next(slots);
+  for (size_t i = 0; i < slots; ++i) next[i] = static_cast<uint32_t>(i);
+  std::mt19937_64 rng(0x5eedc0de);
+  for (size_t i = slots - 1; i > 0; --i) {
+    const size_t j = rng() % i;  // j in [0, i): Sattolo, not Fisher-Yates.
+    std::swap(next[i], next[j]);
+  }
+
+  constexpr size_t kWarmupHops = 1 << 16;
+  const size_t hops = slots < (1u << 21) ? (1u << 22) : (1u << 21);
+  uint32_t cursor = 0;
+  for (size_t i = 0; i < kWarmupHops; ++i) cursor = next[cursor];
+
+  Timer timer;
+  for (size_t i = 0; i < hops; ++i) cursor = next[cursor];
+  const double ns = static_cast<double>(timer.ElapsedNs());
+
+  // Publish the cursor so the chase cannot be optimized away.
+  static volatile uint32_t g_sink = 0;
+  g_sink = cursor;
+  return ns / static_cast<double>(hops);
+}
+
+}  // namespace fitree
+
+#endif  // FITREE_COMMON_MEMORY_COST_H_

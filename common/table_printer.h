@@ -1,0 +1,72 @@
+// Column-aligned plain-text tables for the paper-figure benchmark output.
+
+#ifndef FITREE_COMMON_TABLE_PRINTER_H_
+#define FITREE_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fitree {
+
+// Collects rows of pre-formatted cells and prints them with every column
+// padded to its widest entry, e.g.
+//
+//   method       param    index_size_MB  ns_per_lookup
+//   FITing-Tree  e=16     12.3456        181.2
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print(std::ostream& os) const {
+    std::vector<size_t> widths(columns_.size(), 0);
+    for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    PrintRow(os, columns_, widths);
+    for (const auto& row : rows_) PrintRow(os, row, widths);
+    os.flush();
+  }
+
+  // Fixed-precision decimal formatting, e.g. Fmt(12.345, 1) == "12.3".
+  static std::string Fmt(double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return std::string(buf);
+  }
+
+  static std::string Fmt(uint64_t value) { return std::to_string(value); }
+
+ private:
+  static void PrintRow(std::ostream& os, const std::vector<std::string>& row,
+                       const std::vector<size_t>& widths) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      if (c + 1 < row.size()) {
+        const size_t width = c < widths.size() ? widths[c] : row[c].size();
+        line.append(width > row[c].size() ? width - row[c].size() + 2 : 2,
+                    ' ');
+      }
+    }
+    os << line << '\n';
+  }
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fitree
+
+#endif  // FITREE_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,36 @@
+// Monotonic wall-clock timer for the measurement loops.
+
+#ifndef FITREE_COMMON_TIMER_H_
+#define FITREE_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fitree {
+
+// Starts timing at construction; ElapsedNs/ElapsedSeconds read the monotonic
+// clock without stopping the timer.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNs()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fitree
+
+#endif  // FITREE_COMMON_TIMER_H_

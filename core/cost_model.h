@@ -1,0 +1,137 @@
+// Cost model for FITing-Tree lookups and index size (paper Sec 5/6).
+//
+// The latency model charges one full random-access cost `c` per B+ tree
+// level and per binary-search step over the error window, so it upper-bounds
+// the measured latency (real descents mostly hit cache); the size model
+// assumes half-full tree nodes, so it over-estimates a bulk-loaded tree.
+// LearnSegmentCurve + PickErrorFor{Latency,Space} implement the two
+// DBA-facing selectors: the largest error meeting a latency SLA (min space)
+// and the smallest error fitting a space budget (min latency).
+
+#ifndef FITREE_CORE_COST_MODEL_H_
+#define FITREE_CORE_COST_MODEL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/shrinking_cone.h"
+
+namespace fitree {
+
+struct CostModelParams {
+  double cache_miss_ns = 50.0;  // calibrated random-access cost `c`
+  double fanout = 16.0;         // B+ tree node fanout
+  double fill = 0.5;            // assumed node fill factor
+  double buffer_size = 0.0;     // per-segment insert-buffer entries
+};
+
+// Predicted lookup latency for a tree over `segments` segments built with
+// error threshold `error`.
+inline double EstimateLookupLatencyNs(double error, double segments,
+                                      const CostModelParams& params) {
+  const double effective_fanout = std::max(2.0, params.fanout * params.fill);
+  const double levels = std::max(
+      1.0, std::ceil(std::log(std::max(2.0, segments)) /
+                     std::log(effective_fanout)));
+  // Final search spans the 2*error window plus the buffer.
+  const double window = 2.0 * error + params.buffer_size + 2.0;
+  return params.cache_miss_ns * (levels + std::log2(window));
+}
+
+// Predicted index size: directory entries at the assumed fill factor, the
+// inner levels above them, and the per-segment model metadata.
+inline double EstimateIndexSizeBytes(double segments,
+                                     const CostModelParams& params) {
+  constexpr double kEntryBytes = 16.0;     // key + pointer
+  constexpr double kSegmentMetaBytes = 32.0;  // key + slope + intercept + ptr
+  const double fill = std::max(0.1, params.fill);
+  const double effective_fanout = std::max(2.0, params.fanout * fill);
+  const double leaf_bytes = segments * kEntryBytes / fill;
+  const double inner_bytes = leaf_bytes / (effective_fanout - 1.0);
+  return leaf_bytes + inner_bytes + segments * kSegmentMetaBytes;
+}
+
+struct SegmentCurvePoint {
+  double error = 0.0;
+  double segments = 0.0;
+};
+
+// segments(error) sampled at the given thresholds; the data-dependent input
+// to both selectors.
+using SegmentCurve = std::vector<SegmentCurvePoint>;
+
+template <typename K>
+SegmentCurve LearnSegmentCurve(const std::vector<K>& keys,
+                               const std::vector<double>& errors) {
+  SegmentCurve curve;
+  curve.reserve(errors.size());
+  for (const double error : errors) {
+    const auto segments =
+        SegmentShrinkingCone<K>(std::span<const K>(keys), error);
+    curve.push_back({error, static_cast<double>(segments.size())});
+  }
+  return curve;
+}
+
+struct ErrorPick {
+  double error = 0.0;
+  double est_latency_ns = 0.0;
+  double est_size_bytes = 0.0;
+};
+
+namespace detail {
+
+inline std::optional<double> CurveSegmentsAt(const SegmentCurve& curve,
+                                             double error) {
+  for (const auto& point : curve) {
+    if (point.error == error) return point.segments;
+  }
+  return std::nullopt;
+}
+
+}  // namespace detail
+
+// Largest candidate error whose estimated latency meets `max_latency_ns`
+// (larger error => fewer segments => smaller index). Paper Eq. 6.1.
+inline std::optional<ErrorPick> PickErrorForLatency(
+    const SegmentCurve& curve, const CostModelParams& params,
+    double max_latency_ns, const std::vector<double>& candidates) {
+  std::optional<ErrorPick> best;
+  for (const double error : candidates) {
+    const auto segments = detail::CurveSegmentsAt(curve, error);
+    if (!segments.has_value()) continue;
+    const double latency = EstimateLookupLatencyNs(error, *segments, params);
+    if (latency > max_latency_ns) continue;
+    const double size = EstimateIndexSizeBytes(*segments, params);
+    if (!best.has_value() || size < best->est_size_bytes) {
+      best = ErrorPick{error, latency, size};
+    }
+  }
+  return best;
+}
+
+// Fastest candidate error whose estimated index size fits
+// `max_size_bytes`. Paper Eq. 6.2.
+inline std::optional<ErrorPick> PickErrorForSpace(
+    const SegmentCurve& curve, const CostModelParams& params,
+    double max_size_bytes, const std::vector<double>& candidates) {
+  std::optional<ErrorPick> best;
+  for (const double error : candidates) {
+    const auto segments = detail::CurveSegmentsAt(curve, error);
+    if (!segments.has_value()) continue;
+    const double size = EstimateIndexSizeBytes(*segments, params);
+    if (size > max_size_bytes) continue;
+    const double latency = EstimateLookupLatencyNs(error, *segments, params);
+    if (!best.has_value() || latency < best->est_latency_ns) {
+      best = ErrorPick{error, latency, size};
+    }
+  }
+  return best;
+}
+
+}  // namespace fitree
+
+#endif  // FITREE_CORE_COST_MODEL_H_

@@ -1,0 +1,290 @@
+// FITing-Tree with per-segment insert buffers (paper Sec 4.2): each linear
+// segment owns its sorted key page plus a small sorted buffer for incoming
+// inserts. When a buffer exceeds its budget the segment merges buffer and
+// page and re-runs the shrinking cone over the combined keys, replacing
+// itself with however many segments the data now needs — this is the
+// data-aware split that distinguishes FITing-Tree from fixed paging.
+//
+// The segment directory is a B+ tree keyed by each segment's first key; its
+// node width is a template parameter so bench_ablations can sweep fanout.
+// Read operations are const and safe for concurrent readers.
+
+#ifndef FITREE_CORE_FITING_TREE_H_
+#define FITREE_CORE_FITING_TREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "btree/btree_map.h"
+#include "common/timer.h"
+#include "core/search_policy.h"
+#include "core/shrinking_cone.h"
+
+namespace fitree {
+
+struct FitingTreeConfig {
+  // Sentinel: size the buffer as max(1, error/2), the paper's default ratio
+  // (Sec 7.1.3).
+  static constexpr size_t kAutoBufferSize = static_cast<size_t>(-1);
+
+  double error = 64.0;
+  // Per-segment insert-buffer capacity. 0 means merge on every insert
+  // (write-pessimal, read-optimal); kAutoBufferSize means error/2.
+  size_t buffer_size = kAutoBufferSize;
+  SearchPolicy search_policy = SearchPolicy::kBinary;
+  Feasibility feasibility = Feasibility::kEndpointLine;
+};
+
+struct FitingTreeStats {
+  uint64_t inserts = 0;
+  uint64_t segment_merges = 0;   // buffer merge-and-resegment events
+  uint64_t segments_created = 0; // segments produced by those merges
+};
+
+template <typename K, int kInnerSlots = 16, int kLeafSlots = kInnerSlots>
+class FitingTree {
+ public:
+  static std::unique_ptr<FitingTree<K, kInnerSlots, kLeafSlots>> Create(
+      const std::vector<K>& keys, const FitingTreeConfig& config) {
+    auto tree = std::make_unique<FitingTree<K, kInnerSlots, kLeafSlots>>();
+    tree->config_ = config;
+    tree->effective_buffer_ =
+        config.buffer_size == FitingTreeConfig::kAutoBufferSize
+            ? std::max<size_t>(1, static_cast<size_t>(config.error / 2.0))
+            : config.buffer_size;
+    tree->BulkLoad(std::span<const K>(keys));
+    return tree;
+  }
+
+  size_t size() const { return size_; }
+
+  bool Contains(const K& key) const {
+    const SegmentData* seg = LocateSegment(key);
+    if (seg == nullptr) return false;
+    return SearchSegment(*seg, key) || SearchBuffer(*seg, key);
+  }
+
+  // Returns the stored key equal to `key` when present.
+  std::optional<K> Find(const K& key) const {
+    return Contains(key) ? std::optional<K>(key) : std::nullopt;
+  }
+
+  // Contains() that also accrues the time spent descending the directory
+  // vs. searching the segment page/buffer (Figure 13's breakdown).
+  bool ContainsWithBreakdown(const K& key, int64_t* tree_ns,
+                             int64_t* page_ns) const {
+    Timer timer;
+    const SegmentData* seg = LocateSegment(key);
+    *tree_ns += timer.ElapsedNs();
+    timer.Reset();
+    const bool found =
+        seg != nullptr && (SearchSegment(*seg, key) || SearchBuffer(*seg, key));
+    *page_ns += timer.ElapsedNs();
+    return found;
+  }
+
+  // Inserts `key` (set semantics: duplicates are ignored). The key lands in
+  // its floor segment's buffer; a full buffer triggers merge-and-resegment.
+  void Insert(const K& key) {
+    ++stats_.inserts;
+    SegmentData* seg = LocateSegmentMutable(key);
+    if (seg == nullptr) {
+      // First key of an empty tree.
+      auto data = std::make_unique<SegmentData>();
+      data->first_key = key;
+      data->slope = 0.0;
+      data->intercept = 0.0;
+      data->keys.push_back(key);
+      directory_.Insert(key, data.get());
+      segments_.push_back(std::move(data));
+      ++live_segments_;
+      ++size_;
+      return;
+    }
+    if (SearchSegment(*seg, key) || SearchBuffer(*seg, key)) return;
+    auto pos = std::lower_bound(seg->buffer.begin(), seg->buffer.end(), key);
+    seg->buffer.insert(pos, key);
+    ++size_;
+    if (seg->buffer.size() > effective_buffer_) MergeSegment(seg);
+  }
+
+  // Calls fn(key) for every stored key in [lo, hi] in ascending order,
+  // merging each segment's page with its buffer on the fly.
+  template <typename Fn>
+  void ScanRange(const K& lo, const K& hi, Fn fn) const {
+    if (live_segments_ == 0 || hi < lo) return;
+    K start_key;
+    if (directory_.FindFloor(lo, &start_key) == nullptr) {
+      directory_.First(&start_key);
+    }
+    directory_.ScanFrom(start_key, [&](const K& first_key, SegmentData* seg) {
+      if (first_key > hi) return false;
+      EmitRange(*seg, lo, hi, fn);
+      return true;
+    });
+  }
+
+  // Directory nodes plus per-segment model metadata (the key pages and
+  // buffers are the data, not the index).
+  size_t IndexSizeBytes() const {
+    return directory_.MemoryBytes() + live_segments_ * kSegmentMetaBytes;
+  }
+
+  size_t SegmentCount() const { return live_segments_; }
+  int TreeHeight() const { return directory_.Height(); }
+  const FitingTreeStats& stats() const { return stats_; }
+  const FitingTreeConfig& config() const { return config_; }
+
+ private:
+  struct SegmentData {
+    K first_key{};
+    double slope = 0.0;
+    double intercept = 0.0;  // predicted index into `keys` at first_key
+    std::vector<K> keys;     // sorted page
+    std::vector<K> buffer;   // sorted insert buffer
+
+    double Predict(const K& key) const {
+      return intercept + slope * (static_cast<double>(key) -
+                                  static_cast<double>(first_key));
+    }
+  };
+
+  static constexpr size_t kSegmentMetaBytes =
+      sizeof(K) + 2 * sizeof(double) + sizeof(void*);
+
+  using Directory = btree::BTreeMap<K, SegmentData*, kLeafSlots, kInnerSlots>;
+
+  void BulkLoad(std::span<const K> keys) {
+    size_ = keys.size();
+    if (keys.empty()) return;
+    const auto models =
+        SegmentShrinkingCone<K>(keys, config_.error, config_.feasibility);
+    std::vector<std::pair<K, SegmentData*>> entries;
+    entries.reserve(models.size());
+    segments_.reserve(models.size());
+    for (const Segment<K>& m : models) {
+      auto data = std::make_unique<SegmentData>();
+      data->first_key = m.first_key;
+      data->slope = m.slope;
+      data->intercept = m.intercept - static_cast<double>(m.start);
+      data->keys.assign(keys.begin() + m.start,
+                        keys.begin() + m.start + m.length);
+      entries.emplace_back(m.first_key, data.get());
+      segments_.push_back(std::move(data));
+    }
+    directory_.BulkLoad(std::move(entries));
+    live_segments_ = segments_.size();
+  }
+
+  const SegmentData* LocateSegment(const K& key) const {
+    SegmentData* const* seg = directory_.FindFloor(key);
+    if (seg == nullptr) seg = directory_.First();
+    return seg == nullptr ? nullptr : *seg;
+  }
+
+  SegmentData* LocateSegmentMutable(const K& key) {
+    return const_cast<SegmentData*>(LocateSegment(key));
+  }
+
+  // Error-bounded search of the segment page for an exact match.
+  bool SearchSegment(const SegmentData& seg, const K& key) const {
+    const size_t n = seg.keys.size();
+    if (n == 0) return false;
+    const double pred = seg.Predict(key);
+    const double slack = config_.error + 2.0;
+    // A key below the leftmost segment (floor fallback) predicts far
+    // negative; a present key always predicts a window overlapping [0, n).
+    if (pred + slack < 0.0) return false;
+    const size_t begin =
+        pred - slack <= 0.0 ? 0
+                            : std::min(n, static_cast<size_t>(pred - slack));
+    const size_t end =
+        pred + slack >= static_cast<double>(n)
+            ? n
+            : std::max(begin, static_cast<size_t>(pred + slack));
+    const size_t hint = static_cast<size_t>(std::max(0.0, pred));
+    const size_t i = detail::BoundedLowerBound(
+        seg.keys.data(), begin, end, hint, key, config_.search_policy);
+    return i < n && seg.keys[i] == key;
+  }
+
+  bool SearchBuffer(const SegmentData& seg, const K& key) const {
+    return std::binary_search(seg.buffer.begin(), seg.buffer.end(), key);
+  }
+
+  template <typename Fn>
+  void EmitRange(const SegmentData& seg, const K& lo, const K& hi,
+                 Fn& fn) const {
+    auto k = std::lower_bound(seg.keys.begin(), seg.keys.end(), lo);
+    auto b = std::lower_bound(seg.buffer.begin(), seg.buffer.end(), lo);
+    while (k != seg.keys.end() || b != seg.buffer.end()) {
+      const bool take_key =
+          b == seg.buffer.end() || (k != seg.keys.end() && *k <= *b);
+      const K value = take_key ? *k : *b;
+      if (value > hi) return;
+      fn(value);
+      if (take_key) {
+        ++k;
+      } else {
+        ++b;
+      }
+    }
+  }
+
+  // Merges `seg`'s buffer into its page and re-segments the combined keys
+  // with the shrinking cone, replacing one directory entry with possibly
+  // several (paper Sec 4.2.2).
+  void MergeSegment(SegmentData* seg) {
+    ++stats_.segment_merges;
+    std::vector<K> merged(seg->keys.size() + seg->buffer.size());
+    std::merge(seg->keys.begin(), seg->keys.end(), seg->buffer.begin(),
+               seg->buffer.end(), merged.begin());
+
+    const auto models = SegmentShrinkingCone<K>(
+        std::span<const K>(merged), config_.error, config_.feasibility);
+    stats_.segments_created += models.size();
+
+    directory_.Erase(seg->first_key);
+    // Reuse the merged segment's slot for the first replacement model and
+    // append the rest.
+    for (size_t m = 0; m < models.size(); ++m) {
+      SegmentData* target;
+      if (m == 0) {
+        target = seg;
+      } else {
+        segments_.push_back(std::make_unique<SegmentData>());
+        target = segments_.back().get();
+        ++live_segments_;
+      }
+      const Segment<K>& model = models[m];
+      target->first_key = model.first_key;
+      target->slope = model.slope;
+      target->intercept = model.intercept - static_cast<double>(model.start);
+      target->keys.assign(merged.begin() + model.start,
+                          merged.begin() + model.start + model.length);
+      target->buffer.clear();
+      target->buffer.shrink_to_fit();
+      directory_.Insert(model.first_key, target);
+    }
+  }
+
+  FitingTreeConfig config_;
+  size_t effective_buffer_ = 0;
+  std::vector<std::unique_ptr<SegmentData>> segments_;
+  Directory directory_;
+  size_t live_segments_ = 0;
+  size_t size_ = 0;
+  FitingTreeStats stats_;
+};
+
+}  // namespace fitree
+
+#endif  // FITREE_CORE_FITING_TREE_H_

@@ -1,0 +1,32 @@
+// Non-linearity ratio (paper Sec 3.3, Figure 8). The shrinking cone keeps a
+// segment open at least while the rank delta stays within the error bound,
+// so every segment covers at least error+1 keys and the worst possible
+// segment count at threshold e is |D| / (e + 1) (Theorem 3.1). The ratio
+//   ratio(e) = S_e * (e + 1) / |D|
+// therefore lands in (0, 1]: 1.0 for data that defeats the cone entirely,
+// approaching (e+1)/|D| for perfectly linear data, making datasets
+// comparable across error scales.
+
+#ifndef FITREE_CORE_NON_LINEARITY_H_
+#define FITREE_CORE_NON_LINEARITY_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/shrinking_cone.h"
+
+namespace fitree {
+
+template <typename K>
+double NonLinearityRatio(const std::vector<K>& keys, double error) {
+  if (keys.empty()) return 0.0;
+  const size_t segments =
+      SegmentShrinkingCone<K>(std::span<const K>(keys), error).size();
+  return static_cast<double>(segments) * (error + 1.0) /
+         static_cast<double>(keys.size());
+}
+
+}  // namespace fitree
+
+#endif  // FITREE_CORE_NON_LINEARITY_H_

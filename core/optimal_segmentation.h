@@ -1,0 +1,67 @@
+// Optimal error-bounded segmentation, the Table 1 reference point.
+//
+// A set of consecutive keys is coverable by one segment iff some line stays
+// within +/- error of every (key, rank) point, and that feasibility is
+// closed under taking prefixes. Greedily extending each segment as far as
+// exact feasibility allows therefore minimizes the segment count — this is
+// the classic interval-greedy argument, and it is what the kCone mode of
+// SegmentShrinkingCone computes with its convex-hull fitter. The paper's
+// O(n^2)-memory DP needed >= 1TB at 1e6 elements; this reference runs in
+// O(n) memory and near-linear time.
+
+#ifndef FITREE_CORE_OPTIMAL_SEGMENTATION_H_
+#define FITREE_CORE_OPTIMAL_SEGMENTATION_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <span>
+
+#include "core/shrinking_cone.h"
+
+namespace fitree {
+
+// Minimum number of error-bounded segments covering `keys`.
+template <typename K>
+size_t OptimalSegmentCount(std::span<const K> keys, double error) {
+  if (keys.empty()) return 0;
+  detail::ExactLineFitter fitter(error);
+  size_t count = 1;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (fitter.TryAdd(static_cast<double>(keys[i]),
+                      static_cast<double>(i))) {
+      continue;
+    }
+    ++count;
+    fitter.Reset();
+    fitter.TryAdd(static_cast<double>(keys[i]), static_cast<double>(i));
+  }
+  return count;
+}
+
+// Exact O(w^2) feasibility oracle for keys[start, start+length): does any
+// line keep every point within +/- error? The feasible slope interval is
+//   [ max over i<j of ((y_j - e) - (y_i + e)) / (x_j - x_i),
+//     min over i<j of ((y_j + e) - (y_i - e)) / (x_j - x_i) ]
+// (pairwise intercept-elimination). Used by the tests to cross-check the
+// incremental hull fitter; too slow for production segmentation.
+template <typename K>
+bool Feasibility2DBruteForce(std::span<const K> keys, size_t start,
+                             size_t length, double error) {
+  double slope_lo = -std::numeric_limits<double>::infinity();
+  double slope_hi = std::numeric_limits<double>::infinity();
+  for (size_t j = 1; j < length; ++j) {
+    for (size_t i = 0; i < j; ++i) {
+      const double dx = static_cast<double>(keys[start + j]) -
+                        static_cast<double>(keys[start + i]);
+      const double dy = static_cast<double>(j) - static_cast<double>(i);
+      slope_lo = std::max(slope_lo, (dy - 2.0 * error) / dx);
+      slope_hi = std::min(slope_hi, (dy + 2.0 * error) / dx);
+    }
+  }
+  return slope_lo <= slope_hi;
+}
+
+}  // namespace fitree
+
+#endif  // FITREE_CORE_OPTIMAL_SEGMENTATION_H_

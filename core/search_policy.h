@@ -1,0 +1,73 @@
+// In-window search strategies for the final error-bounded search step
+// (paper Sec 4.1.2: once a segment predicts a position, the key is located
+// with a bounded search around it; binary, linear and exponential variants
+// are compared in bench_ablations).
+
+#ifndef FITREE_CORE_SEARCH_POLICY_H_
+#define FITREE_CORE_SEARCH_POLICY_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace fitree {
+
+enum class SearchPolicy {
+  kBinary,       // std::lower_bound over the whole window
+  kLinear,       // forward scan from the window start
+  kExponential,  // gallop outward from the predicted position, then binary
+};
+
+namespace detail {
+
+// Lower-bound (first index whose key is >= `key`) over sorted
+// data[begin, end), given that the answer is guaranteed to lie in
+// [begin, end] and that `hint` approximates it.
+template <typename K>
+size_t BoundedLowerBound(const K* data, size_t begin, size_t end, size_t hint,
+                         const K& key, SearchPolicy policy) {
+  if (begin >= end) return begin;
+  switch (policy) {
+    case SearchPolicy::kBinary:
+      return static_cast<size_t>(
+          std::lower_bound(data + begin, data + end, key) - data);
+    case SearchPolicy::kLinear: {
+      size_t i = begin;
+      while (i < end && data[i] < key) ++i;
+      return i;
+    }
+    case SearchPolicy::kExponential: {
+      const size_t h = std::clamp(hint, begin, end - 1);
+      size_t lo, hi;
+      if (data[h] < key) {
+        // Answer in (h, end]; gallop right doubling the step.
+        size_t step = 1;
+        lo = h;
+        hi = h + step;
+        while (hi < end && data[hi] < key) {
+          lo = hi;
+          step <<= 1;
+          hi = h + step;
+        }
+        if (hi > end) hi = end;
+      } else {
+        // Answer in [begin, h]; gallop left.
+        size_t step = 1;
+        hi = h;
+        lo = h >= begin + step ? h - step : begin;
+        while (lo > begin && data[lo] >= key) {
+          hi = lo;
+          step <<= 1;
+          lo = h >= begin + step ? h - step : begin;
+        }
+      }
+      return static_cast<size_t>(
+          std::lower_bound(data + lo, data + hi, key) - data);
+    }
+  }
+  return begin;  // unreachable
+}
+
+}  // namespace detail
+}  // namespace fitree
+
+#endif  // FITREE_CORE_SEARCH_POLICY_H_

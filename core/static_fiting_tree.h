@@ -1,0 +1,139 @@
+// Read-only FITing-Tree (paper Sec 4.1): a bulk-loaded array of
+// error-bounded linear segments with a B+ tree over the segment boundary
+// keys. Lookups descend the directory, evaluate the segment's line and
+// finish with a bounded search in the +/- error window. Because the data
+// stays in one flat sorted array, ranks are exact, which gives O(log)
+// RangeCount via rank subtraction (used by bench_range).
+
+#ifndef FITREE_CORE_STATIC_FITING_TREE_H_
+#define FITREE_CORE_STATIC_FITING_TREE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "btree/btree_map.h"
+#include "core/search_policy.h"
+#include "core/shrinking_cone.h"
+
+namespace fitree {
+
+template <typename K>
+class StaticFitingTree {
+ public:
+  static std::unique_ptr<StaticFitingTree<K>> Create(
+      const std::vector<K>& keys, double error,
+      SearchPolicy policy = SearchPolicy::kBinary,
+      Feasibility feasibility = Feasibility::kEndpointLine) {
+    auto tree = std::make_unique<StaticFitingTree<K>>();
+    tree->policy_ = policy;
+    tree->feasibility_ = feasibility;
+    tree->BulkLoad(std::span<const K>(keys), error);
+    return tree;
+  }
+
+  // Replaces the contents with `keys` (sorted, duplicate-free).
+  void BulkLoad(std::span<const K> keys, double error) {
+    error_ = error;
+    data_.assign(keys.begin(), keys.end());
+    segments_ = SegmentShrinkingCone<K>(data_, error, feasibility_);
+    std::vector<std::pair<K, uint32_t>> entries;
+    entries.reserve(segments_.size());
+    for (size_t i = 0; i < segments_.size(); ++i) {
+      entries.emplace_back(segments_[i].first_key, static_cast<uint32_t>(i));
+    }
+    directory_.BulkLoad(std::move(entries));
+  }
+
+  size_t size() const { return data_.size(); }
+
+  // Rank of the first key >= `key` (i.e. `key`'s insertion point).
+  size_t LowerBound(const K& key) const { return Bound(key, /*upper=*/false); }
+
+  // Rank of the first key > `key`.
+  size_t UpperBound(const K& key) const { return Bound(key, /*upper=*/true); }
+
+  // The rank of `key` when present.
+  std::optional<size_t> Find(const K& key) const {
+    const size_t i = LowerBound(key);
+    if (i < data_.size() && data_[i] == key) return i;
+    return std::nullopt;
+  }
+
+  bool Contains(const K& key) const { return Find(key).has_value(); }
+
+  // Number of keys in [lo, hi]: two rank lookups, no scan.
+  size_t RangeCount(const K& lo, const K& hi) const {
+    if (hi < lo) return 0;
+    return UpperBound(hi) - LowerBound(lo);
+  }
+
+  // Calls fn(key) for every key in [lo, hi] in ascending order.
+  template <typename Fn>
+  void ScanRange(const K& lo, const K& hi, Fn fn) const {
+    for (size_t i = LowerBound(lo); i < data_.size() && data_[i] <= hi; ++i) {
+      fn(data_[i]);
+    }
+  }
+
+  // Directory plus per-segment model metadata; the data array itself is the
+  // indexed table, not the index (paper's accounting in Fig 6/9).
+  size_t IndexSizeBytes() const {
+    return directory_.MemoryBytes() + segments_.size() * kSegmentMetaBytes;
+  }
+
+  size_t SegmentCount() const { return segments_.size(); }
+  int TreeHeight() const { return directory_.Height(); }
+  double error() const { return error_; }
+  const std::vector<K>& data() const { return data_; }
+  const std::vector<Segment<K>>& segments() const { return segments_; }
+
+ private:
+  static constexpr size_t kSegmentMetaBytes =
+      sizeof(K) + 2 * sizeof(double) + sizeof(void*);
+
+  size_t Bound(const K& key, bool upper) const {
+    if (data_.empty()) return 0;
+    const uint32_t* id = directory_.FindFloor(key);
+    if (id == nullptr) return 0;  // key sorts before every indexed key
+    const Segment<K>& seg = segments_[*id];
+    const size_t seg_end = seg.start + seg.length;
+    // The true insertion point is within error+2 of the prediction (the
+    // model is error-bounded on the segment's keys and monotone between
+    // them) and, because this is the floor segment, inside
+    // [seg.start, seg_end].
+    const double pred = seg.Predict(key);
+    const double wlo = pred - error_ - 2.0;
+    const double whi = pred + error_ + 2.0;
+    const size_t begin =
+        wlo <= static_cast<double>(seg.start)
+            ? seg.start
+            : std::min(seg_end, static_cast<size_t>(wlo));
+    const size_t end = whi >= static_cast<double>(seg_end)
+                           ? seg_end
+                           : std::max(begin, static_cast<size_t>(whi));
+    const size_t hint = static_cast<size_t>(std::max(0.0, pred));
+    size_t i = detail::BoundedLowerBound(data_.data(), begin, end, hint, key,
+                                         policy_);
+    if (upper) {
+      while (i < data_.size() && data_[i] == key) ++i;
+    }
+    return i;
+  }
+
+  double error_ = 0.0;
+  SearchPolicy policy_ = SearchPolicy::kBinary;
+  Feasibility feasibility_ = Feasibility::kEndpointLine;
+  std::vector<K> data_;
+  std::vector<Segment<K>> segments_;
+  btree::BTreeMap<K, uint32_t, 16, 16> directory_;
+};
+
+}  // namespace fitree
+
+#endif  // FITREE_CORE_STATIC_FITING_TREE_H_

@@ -1,0 +1,269 @@
+// Synthetic stand-ins for the paper's datasets, shaped to reproduce the
+// qualitative behaviors the figures depend on:
+//  - Weblogs: request timestamps with diurnal + weekly load cycles, bursts
+//    and lulls => several overlapping non-linearity bumps (Fig 8).
+//  - IoT: device timestamps with a hard daily on/off cycle => one strong
+//    periodic bump.
+//  - Maps / OsmLongitude: longitudes as fixed-point ints, Gaussian POI
+//    clusters over a uniform background => near-linear until fine scales.
+//  - TaxiPickupTime / TaxiDropLat / TaxiDropLon: NYC-taxi-like timestamps
+//    (rush hours) and tight coordinate clusters (Table 1 rows).
+//  - Step: the worst-case staircase of Figure 9.
+//  - AdversarialCone: Appendix A.3's construction where the greedy cone is
+//    arbitrarily worse than optimal.
+//
+// All integer generators return strictly increasing int64 keys bounded well
+// below 2^53 so double-based linear models stay exact.
+
+#ifndef FITREE_DATASETS_DATASETS_H_
+#define FITREE_DATASETS_DATASETS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace fitree::datasets {
+
+enum class RealWorld { kWeblogs, kIot, kMaps };
+
+namespace detail {
+
+// Sorts and de-duplicates by nudging equal neighbors up one unit, keeping
+// the vector strictly increasing without changing its size.
+inline std::vector<int64_t> SortUnique(std::vector<int64_t> values) {
+  std::sort(values.begin(), values.end());
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] <= values[i - 1]) values[i] = values[i - 1] + 1;
+  }
+  return values;
+}
+
+// Strictly increasing cumulative sum of `gap(t, rng)` (clamped to >= 1),
+// where `t` is the current clock value so generators can modulate the rate
+// by the very timestamps they emit.
+template <typename GapFn>
+std::vector<int64_t> CumulativeGaps(size_t n, uint64_t seed, GapFn gap) {
+  std::vector<int64_t> keys;
+  keys.reserve(n);
+  std::mt19937_64 rng(seed);
+  int64_t t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += std::max<int64_t>(1, gap(t, rng));
+    keys.push_back(t);
+  }
+  return keys;
+}
+
+}  // namespace detail
+
+// Web server request timestamps (milliseconds): Poisson-like arrivals whose
+// rate swings with the time of day and the day of week, with heavy-tailed
+// lulls. The interacting periods give several overlapping segment-count
+// bumps across error scales.
+inline std::vector<int64_t> Weblogs(size_t n, uint64_t seed) {
+  std::exponential_distribution<double> exp_dist(1.0);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  constexpr double kDayMs = 86'400'000.0;
+  return detail::CumulativeGaps(n, seed ^ 0x77eb106500000000ull,
+                                [&](int64_t t, std::mt19937_64& rng) {
+    const double now = static_cast<double>(t);
+    const double day_frac = std::fmod(now, kDayMs) / kDayMs;
+    const double week_frac = std::fmod(now, 7.0 * kDayMs) / (7.0 * kDayMs);
+    // Rate peaks mid-day and mid-week; never drops to zero.
+    const double day_load = 0.15 + std::pow(std::sin(3.14159265 * day_frac), 2.0);
+    const double week_load = 0.6 + 0.4 * std::sin(6.2831853 * week_frac);
+    double gap = 40.0 * exp_dist(rng) / (day_load * week_load);
+    if (unif(rng) < 0.001) gap += 40'000.0 * exp_dist(rng);  // outage lull
+    return static_cast<int64_t>(gap);
+  });
+}
+
+// IoT device report timestamps (seconds): near-regular reports while
+// installations are powered, an 8-hour silent window every night. The
+// single dominant period yields Figure 8's one strong bump.
+inline std::vector<int64_t> Iot(size_t n, uint64_t seed) {
+  std::normal_distribution<double> jitter(0.0, 4.0);
+  constexpr int64_t kDay = 86'400;
+  constexpr int64_t kNight = 8 * 3'600;
+  return detail::CumulativeGaps(n, seed ^ 0x10700000ull,
+                                [&](int64_t t, std::mt19937_64& rng) {
+    int64_t gap = std::max<int64_t>(1, 30 + static_cast<int64_t>(jitter(rng)));
+    if ((t % kDay) + gap >= kDay - kNight) gap += kNight;  // lights out
+    return gap;
+  });
+}
+
+// Longitudes of map features as fixed-point 1e-7 degrees: Gaussian city
+// clusters over a uniform background.
+inline std::vector<int64_t> Maps(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed ^ 0x3a9500000ull);
+  std::uniform_real_distribution<double> lon(-180.0, 180.0);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  constexpr int kClusters = 40;
+  std::vector<double> centers(kClusters);
+  std::vector<double> sigmas(kClusters);
+  for (int c = 0; c < kClusters; ++c) {
+    centers[c] = lon(rng);
+    sigmas[c] = 0.2 + 2.0 * unif(rng);
+  }
+  std::vector<int64_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v;
+    if (unif(rng) < 0.85) {
+      const int c = static_cast<int>(rng() % kClusters);
+      v = std::clamp(centers[c] + sigmas[c] * noise(rng), -180.0, 180.0);
+    } else {
+      v = lon(rng);
+    }
+    values.push_back(static_cast<int64_t>(v * 1e7));
+  }
+  return detail::SortUnique(std::move(values));
+}
+
+// OpenStreetMap longitudes: like Maps but many fine-grained clusters, so
+// non-linearity shows up only at small error scales.
+inline std::vector<int64_t> OsmLongitude(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed ^ 0x05e00000ull);
+  std::uniform_real_distribution<double> lon(-180.0, 180.0);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  constexpr int kClusters = 250;
+  std::vector<double> centers(kClusters);
+  for (int c = 0; c < kClusters; ++c) centers[c] = lon(rng);
+  std::vector<int64_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v;
+    if (unif(rng) < 0.7) {
+      const int c = static_cast<int>(rng() % kClusters);
+      v = std::clamp(centers[c] + 0.3 * noise(rng), -180.0, 180.0);
+    } else {
+      v = lon(rng);
+    }
+    values.push_back(static_cast<int64_t>(v * 1e7));
+  }
+  return detail::SortUnique(std::move(values));
+}
+
+// Taxi pickup timestamps (seconds over ~a month): morning and evening rush
+// bumps on top of a base rate, quieter weekends.
+inline std::vector<int64_t> TaxiPickupTime(size_t n, uint64_t seed) {
+  std::exponential_distribution<double> exp_dist(1.0);
+  constexpr double kDay = 86'400.0;
+  return detail::CumulativeGaps(n, seed ^ 0x7a8100000ull,
+                                [&](int64_t t, std::mt19937_64& rng) {
+    const double now = static_cast<double>(t);
+    const double hour = std::fmod(now, kDay) / 3600.0;
+    const double day = std::fmod(now / kDay, 7.0);
+    const double rush = std::exp(-0.5 * std::pow((hour - 8.5) / 1.5, 2.0)) +
+                        std::exp(-0.5 * std::pow((hour - 18.0) / 2.0, 2.0));
+    const double weekend = day >= 5.0 ? 0.6 : 1.0;
+    const double rate = weekend * (0.2 + 1.5 * rush);
+    const double gap = 2.0 * exp_dist(rng) / rate;
+    return static_cast<int64_t>(gap);
+  });
+}
+
+// Taxi drop-off latitudes as fixed-point 1e-6 degrees: a tight metro blob
+// with satellite clusters.
+inline std::vector<int64_t> TaxiDropLat(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed ^ 0x7a8d1a700000ull);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<int64_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = 40.75 + 0.045 * noise(rng);          // Manhattan blob
+    if (unif(rng) < 0.12) v = 40.65 + 0.02 * noise(rng);   // JFK
+    if (unif(rng) < 0.05) v = 40.77 + 0.008 * noise(rng);  // LGA
+    values.push_back(static_cast<int64_t>(v * 1e6));
+  }
+  return detail::SortUnique(std::move(values));
+}
+
+// Taxi drop-off longitudes as fixed-point 1e-6 degrees.
+inline std::vector<int64_t> TaxiDropLon(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed ^ 0x7a8d10900000ull);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<int64_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = -73.98 + 0.035 * noise(rng);
+    if (unif(rng) < 0.12) v = -73.78 + 0.015 * noise(rng);
+    values.push_back(static_cast<int64_t>(v * 1e6));
+  }
+  return detail::SortUnique(std::move(values));
+}
+
+// Figure 9's worst case: runs of `step` consecutive integers separated by
+// jumps three orders of magnitude wider. Below the step size every run
+// needs its own segments; above it the whole staircase is one line.
+inline std::vector<int64_t> Step(size_t n, size_t step) {
+  if (step == 0) step = 1;
+  const int64_t jump = static_cast<int64_t>(step) * 1024;
+  std::vector<int64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(static_cast<int64_t>(i / step) * jump +
+                   static_cast<int64_t>(i % step));
+  }
+  return keys;
+}
+
+struct AdversarialData {
+  std::vector<double> keys;
+};
+
+// Appendix A.3: N unit-spaced clusters of 2*error+1 keys separated by huge
+// gaps. One free line threads every cluster within +/- error (optimal stays
+// O(1) segments), but a line pinned to a cluster's first point — the greedy
+// cone's apex — drifts out of bounds within a cluster or two, so the greedy
+// count grows linearly with N.
+inline AdversarialData AdversarialCone(double error, size_t n_patterns) {
+  const size_t cluster = 2 * static_cast<size_t>(std::max(1.0, error)) + 1;
+  const double width = static_cast<double>(cluster) * 1e6;
+  AdversarialData data;
+  data.keys.reserve(cluster * n_patterns);
+  for (size_t p = 0; p < n_patterns; ++p) {
+    const double base = static_cast<double>(p) * width;
+    for (size_t k = 0; k < cluster; ++k) {
+      data.keys.push_back(base + static_cast<double>(k));
+    }
+  }
+  return data;
+}
+
+inline std::string Name(RealWorld which) {
+  switch (which) {
+    case RealWorld::kWeblogs:
+      return "Weblogs";
+    case RealWorld::kIot:
+      return "IoT";
+    case RealWorld::kMaps:
+      return "Maps";
+  }
+  return "unknown";
+}
+
+inline std::vector<int64_t> Generate(RealWorld which, size_t n,
+                                     uint64_t seed) {
+  switch (which) {
+    case RealWorld::kWeblogs:
+      return Weblogs(n, seed);
+    case RealWorld::kIot:
+      return Iot(n, seed);
+    case RealWorld::kMaps:
+      return Maps(n, seed);
+  }
+  return {};
+}
+
+}  // namespace fitree::datasets
+
+#endif  // FITREE_DATASETS_DATASETS_H_

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "btree/btree_map.h"
+
+namespace {
+
+using fitree::btree::BTreeMap;
+
+TEST(BTreeMap, InsertFindAgainstStdMap) {
+  BTreeMap<int64_t, int64_t, 8, 8> tree;  // small nodes force deep splits
+  std::map<int64_t, int64_t> oracle;
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t key = static_cast<int64_t>(rng() % 50000);
+    tree.Insert(key, key * 3);
+    oracle[key] = key * 3;
+  }
+  EXPECT_EQ(tree.size(), oracle.size());
+  for (int64_t key = 0; key < 50000; key += 17) {
+    const int64_t* found = tree.Find(key);
+    const auto it = oracle.find(key);
+    ASSERT_EQ(found != nullptr, it != oracle.end()) << "key " << key;
+    if (found != nullptr) EXPECT_EQ(*found, it->second);
+  }
+}
+
+TEST(BTreeMap, UpsertOverwrites) {
+  BTreeMap<int64_t, int64_t> tree;
+  EXPECT_TRUE(tree.Insert(5, 1));
+  EXPECT_FALSE(tree.Insert(5, 2));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.Find(5), 2);
+}
+
+TEST(BTreeMap, BulkLoadMatchesInserts) {
+  std::vector<std::pair<int64_t, int64_t>> items;
+  for (int64_t i = 0; i < 10000; ++i) items.emplace_back(i * 7, i);
+  BTreeMap<int64_t, int64_t, 16, 16> tree;
+  tree.BulkLoad(std::vector<std::pair<int64_t, int64_t>>(items));
+  EXPECT_EQ(tree.size(), items.size());
+  EXPECT_GE(tree.Height(), 3);
+  for (const auto& [key, value] : items) {
+    const int64_t* found = tree.Find(key);
+    ASSERT_NE(found, nullptr) << "key " << key;
+    EXPECT_EQ(*found, value);
+    EXPECT_EQ(tree.Find(key + 1), nullptr);
+  }
+}
+
+TEST(BTreeMap, FindFloor) {
+  BTreeMap<int64_t, int64_t, 8, 8> tree;
+  for (int64_t i = 0; i < 1000; ++i) tree.Insert(i * 10, i);
+  int64_t key = 0;
+  const int64_t* floor = tree.FindFloor(345, &key);
+  ASSERT_NE(floor, nullptr);
+  EXPECT_EQ(key, 340);
+  EXPECT_EQ(*floor, 34);
+  floor = tree.FindFloor(340, &key);
+  ASSERT_NE(floor, nullptr);
+  EXPECT_EQ(key, 340);
+  EXPECT_EQ(tree.FindFloor(-1), nullptr);
+  floor = tree.FindFloor(1 << 30, &key);
+  ASSERT_NE(floor, nullptr);
+  EXPECT_EQ(key, 9990);
+}
+
+TEST(BTreeMap, EraseIsLazyButCorrect) {
+  BTreeMap<int64_t, int64_t, 8, 8> tree;
+  std::map<int64_t, int64_t> oracle;
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t key = static_cast<int64_t>(rng() % 8000);
+    tree.Insert(key, key);
+    oracle[key] = key;
+  }
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t key = static_cast<int64_t>(rng() % 8000);
+    EXPECT_EQ(tree.Erase(key), oracle.erase(key) > 0) << "key " << key;
+  }
+  EXPECT_EQ(tree.size(), oracle.size());
+  for (int64_t key = 0; key < 8000; ++key) {
+    EXPECT_EQ(tree.Find(key) != nullptr, oracle.count(key) > 0)
+        << "key " << key;
+  }
+  // Floor queries still work across lazily emptied leaves.
+  for (int64_t probe = 0; probe < 8000; probe += 97) {
+    int64_t got_key = -1;
+    const int64_t* got = tree.FindFloor(probe, &got_key);
+    const auto it = oracle.upper_bound(probe);
+    if (it == oracle.begin()) {
+      EXPECT_EQ(got, nullptr) << "probe " << probe;
+    } else {
+      ASSERT_NE(got, nullptr) << "probe " << probe;
+      EXPECT_EQ(got_key, std::prev(it)->first);
+    }
+  }
+}
+
+TEST(BTreeMap, ScanFromInOrder) {
+  BTreeMap<int64_t, int64_t, 8, 8> tree;
+  for (int64_t i = 0; i < 500; ++i) tree.Insert(i * 2, i);
+  std::vector<int64_t> seen;
+  tree.ScanFrom(101, [&](int64_t key, int64_t) {
+    if (key > 200) return false;
+    seen.push_back(key);
+    return true;
+  });
+  std::vector<int64_t> expected;
+  for (int64_t key = 102; key <= 200; key += 2) expected.push_back(key);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BTreeMap, FirstAndEmpty) {
+  BTreeMap<int64_t, int64_t> tree;
+  EXPECT_EQ(tree.First(), nullptr);
+  EXPECT_EQ(tree.FindFloor(0), nullptr);
+  EXPECT_EQ(tree.Height(), 0);
+  tree.Insert(42, 1);
+  int64_t key = 0;
+  ASSERT_NE(tree.First(&key), nullptr);
+  EXPECT_EQ(key, 42);
+}
+
+}  // namespace

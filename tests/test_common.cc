@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/env.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace {
+
+TEST(Env, ParsesAndDefaults) {
+  ::setenv("FITREE_TEST_ENV", "42", 1);
+  EXPECT_EQ(fitree::GetEnvInt64("FITREE_TEST_ENV", 7), 42);
+  EXPECT_EQ(fitree::GetEnvInt("FITREE_TEST_ENV", 7), 42);
+  ::setenv("FITREE_TEST_ENV", "-3", 1);
+  EXPECT_EQ(fitree::GetEnvInt64("FITREE_TEST_ENV", 7), -3);
+  ::setenv("FITREE_TEST_ENV", "notanumber", 1);
+  EXPECT_EQ(fitree::GetEnvInt64("FITREE_TEST_ENV", 7), 7);
+  ::unsetenv("FITREE_TEST_ENV");
+  EXPECT_EQ(fitree::GetEnvInt64("FITREE_TEST_ENV", 9), 9);
+}
+
+TEST(Timer, Monotone) {
+  fitree::Timer timer;
+  const int64_t a = timer.ElapsedNs();
+  const int64_t b = timer.ElapsedNs();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+}
+
+TEST(TablePrinter, FormatsAndAligns) {
+  EXPECT_EQ(fitree::TablePrinter::Fmt(12.345, 1), "12.3");
+  EXPECT_EQ(fitree::TablePrinter::Fmt(12.345, 0), "12");
+  EXPECT_EQ(fitree::TablePrinter::Fmt(uint64_t{7}), "7");
+
+  fitree::TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Three lines: header + two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+}  // namespace

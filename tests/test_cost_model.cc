@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/memory_cost.h"
+#include "core/cost_model.h"
+#include "datasets/datasets.h"
+
+namespace {
+
+using fitree::CostModelParams;
+using fitree::EstimateIndexSizeBytes;
+using fitree::EstimateLookupLatencyNs;
+using fitree::LearnSegmentCurve;
+using fitree::PickErrorForLatency;
+using fitree::PickErrorForSpace;
+
+TEST(CostModel, LatencyGrowsWithErrorAndSegments) {
+  CostModelParams params;
+  params.cache_miss_ns = 50.0;
+  // Bigger windows cost more at a fixed segment count.
+  EXPECT_LT(EstimateLookupLatencyNs(16.0, 1000.0, params),
+            EstimateLookupLatencyNs(4096.0, 1000.0, params));
+  // More segments cost more at a fixed error.
+  EXPECT_LE(EstimateLookupLatencyNs(64.0, 100.0, params),
+            EstimateLookupLatencyNs(64.0, 1e7, params));
+  EXPECT_GT(EstimateLookupLatencyNs(16.0, 100.0, params), 0.0);
+}
+
+TEST(CostModel, SizeScalesLinearlyInSegments) {
+  CostModelParams params;
+  const double one = EstimateIndexSizeBytes(1000.0, params);
+  const double ten = EstimateIndexSizeBytes(10000.0, params);
+  EXPECT_NEAR(ten / one, 10.0, 0.01);
+}
+
+TEST(CostModel, CurveIsMonotoneInError) {
+  const auto keys = fitree::datasets::Weblogs(30000, 1);
+  const std::vector<double> errors{16.0, 64.0, 256.0, 1024.0};
+  const auto curve = LearnSegmentCurve<int64_t>(keys, errors);
+  ASSERT_EQ(curve.size(), errors.size());
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].segments, curve[i - 1].segments);
+    EXPECT_GE(curve[i].segments, 1.0);
+  }
+}
+
+TEST(CostModel, SelectorsRespectTheirConstraints) {
+  const auto keys = fitree::datasets::Weblogs(30000, 1);
+  const std::vector<double> candidates{16.0, 64.0, 256.0, 1024.0, 4096.0};
+  const auto curve = LearnSegmentCurve<int64_t>(keys, candidates);
+  CostModelParams params;
+  params.cache_miss_ns = 50.0;
+
+  const auto latency_pick =
+      PickErrorForLatency(curve, params, 1200.0, candidates);
+  ASSERT_TRUE(latency_pick.has_value());
+  EXPECT_LE(latency_pick->est_latency_ns, 1200.0);
+  // Among candidates meeting the SLA it returns the smallest index.
+  for (const double error : candidates) {
+    for (const auto& point : curve) {
+      if (point.error != error) continue;
+      const double lat = EstimateLookupLatencyNs(error, point.segments, params);
+      if (lat <= 1200.0) {
+        EXPECT_LE(latency_pick->est_size_bytes,
+                  EstimateIndexSizeBytes(point.segments, params) + 1e-9);
+      }
+    }
+  }
+
+  const auto space_pick =
+      PickErrorForSpace(curve, params, 4.0 * 1024 * 1024, candidates);
+  ASSERT_TRUE(space_pick.has_value());
+  EXPECT_LE(space_pick->est_size_bytes, 4.0 * 1024 * 1024);
+
+  // Impossible constraints yield no pick.
+  EXPECT_FALSE(PickErrorForLatency(curve, params, 1.0, candidates).has_value());
+  EXPECT_FALSE(PickErrorForSpace(curve, params, 1.0, candidates).has_value());
+}
+
+TEST(MemoryCost, MeasuresPlausibleLatency) {
+  // A tiny working set fits in cache; just sanity-check the range.
+  const double ns = fitree::MeasureRandomAccessNs(1 << 20);
+  EXPECT_GT(ns, 0.1);
+  EXPECT_LT(ns, 1000.0);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "datasets/datasets.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+void CheckSortedUnique(const std::vector<int64_t>& keys, size_t n) {
+  ASSERT_EQ(keys.size(), n);
+  for (size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_GT(keys[i], keys[i - 1]) << "at " << i;
+  }
+  // Keys stay below 2^53 so double-based models remain exact.
+  EXPECT_LT(std::abs(static_cast<double>(keys.back())), 9.0e15);
+  EXPECT_LT(std::abs(static_cast<double>(keys.front())), 9.0e15);
+}
+
+TEST(Datasets, AllGeneratorsSortedUniqueAndSized) {
+  const size_t n = 10000;
+  CheckSortedUnique(fitree::datasets::Weblogs(n, 1), n);
+  CheckSortedUnique(fitree::datasets::Iot(n, 2), n);
+  CheckSortedUnique(fitree::datasets::Maps(n, 3), n);
+  CheckSortedUnique(fitree::datasets::OsmLongitude(n, 4), n);
+  CheckSortedUnique(fitree::datasets::TaxiPickupTime(n, 5), n);
+  CheckSortedUnique(fitree::datasets::TaxiDropLat(n, 6), n);
+  CheckSortedUnique(fitree::datasets::TaxiDropLon(n, 7), n);
+  CheckSortedUnique(fitree::datasets::Step(n, 100), n);
+}
+
+TEST(Datasets, Deterministic) {
+  EXPECT_EQ(fitree::datasets::Weblogs(5000, 42),
+            fitree::datasets::Weblogs(5000, 42));
+  EXPECT_NE(fitree::datasets::Weblogs(5000, 42),
+            fitree::datasets::Weblogs(5000, 43));
+}
+
+TEST(Datasets, GenerateDispatchAndNames) {
+  using fitree::datasets::RealWorld;
+  for (const auto which :
+       {RealWorld::kWeblogs, RealWorld::kIot, RealWorld::kMaps}) {
+    const auto keys = fitree::datasets::Generate(which, 2000, 9);
+    CheckSortedUnique(keys, 2000);
+    EXPECT_FALSE(fitree::datasets::Name(which).empty());
+  }
+}
+
+TEST(Datasets, StepShape) {
+  const auto keys = fitree::datasets::Step(1000, 100);
+  // Runs of 100 consecutive integers...
+  EXPECT_EQ(keys[1] - keys[0], 1);
+  EXPECT_EQ(keys[99] - keys[0], 99);
+  // ...separated by jumps much wider than the run.
+  EXPECT_GT(keys[100] - keys[99], 1000);
+}
+
+TEST(Datasets, AdversarialConeShape) {
+  const auto data = fitree::datasets::AdversarialCone(100.0, 10);
+  ASSERT_EQ(data.keys.size(), 10u * 201u);
+  for (size_t i = 1; i < data.keys.size(); ++i) {
+    ASSERT_GT(data.keys[i], data.keys[i - 1]);
+  }
+}
+
+TEST(Workloads, ProbesRespectAbsentFraction) {
+  const auto keys = fitree::datasets::Weblogs(20000, 1);
+  const std::set<int64_t> present(keys.begin(), keys.end());
+  const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
+      keys, 10000, fitree::workloads::Access::kUniform, 0.3, 2);
+  ASSERT_EQ(probes.size(), 10000u);
+  size_t absent = 0;
+  for (const int64_t probe : probes) {
+    if (present.count(probe) == 0) ++absent;
+    // Probes stay within the key range envelope.
+    EXPECT_GE(probe, keys.front());
+    EXPECT_LE(probe, keys.back());
+  }
+  const double fraction = static_cast<double>(absent) / 10000.0;
+  EXPECT_NEAR(fraction, 0.3, 0.05);
+
+  const auto all_present = fitree::workloads::MakeLookupProbes<int64_t>(
+      keys, 1000, fitree::workloads::Access::kUniform, 0.0, 3);
+  for (const int64_t probe : all_present) {
+    EXPECT_EQ(present.count(probe), 1u);
+  }
+}
+
+TEST(Workloads, InsertsAreAbsentFromBase) {
+  const auto keys = fitree::datasets::Iot(20000, 4);
+  const std::set<int64_t> present(keys.begin(), keys.end());
+  const auto inserts = fitree::workloads::MakeInserts<int64_t>(keys, 5000, 5);
+  ASSERT_EQ(inserts.size(), 5000u);
+  for (const int64_t key : inserts) {
+    EXPECT_EQ(present.count(key), 0u) << "insert " << key;
+    EXPECT_GT(key, keys.front());
+    EXPECT_LT(key, keys.back());
+  }
+}
+
+TEST(Workloads, RangeQueriesHitTargetSelectivity) {
+  const auto keys = fitree::datasets::Weblogs(50000, 6);
+  const double selectivity = 0.01;
+  const auto queries = fitree::workloads::MakeRangeQueries<int64_t>(
+      keys, 200, selectivity, 7);
+  ASSERT_EQ(queries.size(), 200u);
+  for (const auto& q : queries) {
+    ASSERT_LE(q.lo, q.hi);
+    const auto lo = std::lower_bound(keys.begin(), keys.end(), q.lo);
+    const auto hi = std::upper_bound(keys.begin(), keys.end(), q.hi);
+    EXPECT_EQ(static_cast<size_t>(hi - lo),
+              static_cast<size_t>(selectivity * keys.size()));
+  }
+}
+
+}  // namespace

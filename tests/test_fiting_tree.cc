@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using fitree::Feasibility;
+using fitree::FitingTree;
+using fitree::FitingTreeConfig;
+using fitree::SearchPolicy;
+
+TEST(FitingTree, LookupMatchesOracleReadOnly) {
+  const auto keys = fitree::datasets::Weblogs(30000, 1);
+  const std::set<int64_t> oracle(keys.begin(), keys.end());
+  for (const double error : {16.0, 256.0, 16384.0}) {
+    FitingTreeConfig config;
+    config.error = error;
+    config.buffer_size = 0;
+    auto tree = FitingTree<int64_t>::Create(keys, config);
+    EXPECT_EQ(tree->size(), keys.size());
+    const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
+        keys, 3000, fitree::workloads::Access::kUniform, 0.4, 5);
+    for (const int64_t probe : probes) {
+      ASSERT_EQ(tree->Contains(probe), oracle.count(probe) > 0)
+          << "probe " << probe << " error " << error;
+    }
+  }
+}
+
+// The ISSUE's headline dynamic test: interleaved inserts with a tiny buffer
+// force merge-and-resegment splits, and every lookup must stay correct.
+TEST(FitingTree, InsertWithBufferSplitsMatchesOracle) {
+  const auto keys = fitree::datasets::Iot(8000, 3);
+  std::set<int64_t> oracle(keys.begin(), keys.end());
+  FitingTreeConfig config;
+  config.error = 64.0;
+  config.buffer_size = 4;  // tiny: every few inserts merges a segment
+  auto tree = FitingTree<int64_t>::Create(keys, config);
+
+  const auto inserts = fitree::workloads::MakeInserts<int64_t>(keys, 4000, 4);
+  const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
+      keys, 4000, fitree::workloads::Access::kUniform, 0.3, 6);
+  for (size_t i = 0; i < inserts.size(); ++i) {
+    tree->Insert(inserts[i]);
+    oracle.insert(inserts[i]);
+    // Interleave lookups with the insert stream.
+    const int64_t probe = probes[i % probes.size()];
+    ASSERT_EQ(tree->Contains(probe), oracle.count(probe) > 0)
+        << "after insert " << i;
+    ASSERT_TRUE(tree->Contains(inserts[i]));
+    ASSERT_EQ(tree->Find(inserts[i]).value(), inserts[i]);
+  }
+  EXPECT_EQ(tree->size(), oracle.size());
+  EXPECT_GT(tree->stats().segment_merges, 0u);
+  // Re-check the whole key set after the dust settles.
+  for (const int64_t key : oracle) {
+    ASSERT_TRUE(tree->Contains(key)) << "key " << key;
+  }
+}
+
+TEST(FitingTree, ZeroBufferMergesEveryInsert) {
+  const auto keys = fitree::datasets::Weblogs(2000, 7);
+  FitingTreeConfig config;
+  config.error = 128.0;
+  config.buffer_size = 0;
+  auto tree = FitingTree<int64_t>::Create(keys, config);
+  const auto inserts = fitree::workloads::MakeInserts<int64_t>(keys, 50, 8);
+  uint64_t merges = 0;
+  for (const int64_t key : inserts) {
+    tree->Insert(key);
+    ASSERT_TRUE(tree->Contains(key));
+    ASSERT_GT(tree->stats().segment_merges, merges);
+    merges = tree->stats().segment_merges;
+  }
+}
+
+TEST(FitingTree, DuplicateInsertsAreIgnored) {
+  const auto keys = fitree::datasets::Maps(5000, 9);
+  FitingTreeConfig config;
+  config.error = 64.0;
+  auto tree = FitingTree<int64_t>::Create(keys, config);
+  const size_t before = tree->size();
+  tree->Insert(keys[123]);
+  tree->Insert(keys[4567]);
+  EXPECT_EQ(tree->size(), before);
+  const int64_t fresh = keys[0] - 10;
+  tree->Insert(fresh);
+  tree->Insert(fresh);
+  EXPECT_EQ(tree->size(), before + 1);
+  EXPECT_TRUE(tree->Contains(fresh));
+}
+
+TEST(FitingTree, ScanRangeMergesBuffersInOrder) {
+  const auto keys = fitree::datasets::Weblogs(10000, 11);
+  std::set<int64_t> oracle(keys.begin(), keys.end());
+  FitingTreeConfig config;
+  config.error = 256.0;
+  config.buffer_size = 64;  // keep keys sitting in buffers during the scan
+  auto tree = FitingTree<int64_t>::Create(keys, config);
+  for (const int64_t key :
+       fitree::workloads::MakeInserts<int64_t>(keys, 2000, 12)) {
+    tree->Insert(key);
+    oracle.insert(key);
+  }
+  const auto queries =
+      fitree::workloads::MakeRangeQueries<int64_t>(keys, 200, 0.02, 13);
+  for (const auto& q : queries) {
+    std::vector<int64_t> expected;
+    for (auto it = oracle.lower_bound(q.lo);
+         it != oracle.end() && *it <= q.hi; ++it) {
+      expected.push_back(*it);
+    }
+    std::vector<int64_t> scanned;
+    tree->ScanRange(q.lo, q.hi, [&](int64_t key) { scanned.push_back(key); });
+    ASSERT_EQ(scanned, expected) << "range [" << q.lo << ", " << q.hi << "]";
+  }
+}
+
+TEST(FitingTree, SearchPoliciesAgree) {
+  const auto keys = fitree::datasets::Iot(20000, 15);
+  const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
+      keys, 2000, fitree::workloads::Access::kUniform, 0.5, 16);
+  std::vector<bool> expected;
+  for (const auto policy : {SearchPolicy::kBinary, SearchPolicy::kLinear,
+                            SearchPolicy::kExponential}) {
+    FitingTreeConfig config;
+    config.error = 512.0;
+    config.buffer_size = 0;
+    config.search_policy = policy;
+    auto tree = FitingTree<int64_t>::Create(keys, config);
+    if (expected.empty()) {
+      for (const int64_t probe : probes) {
+        expected.push_back(tree->Contains(probe));
+      }
+    } else {
+      for (size_t i = 0; i < probes.size(); ++i) {
+        ASSERT_EQ(tree->Contains(probes[i]), expected[i]) << "probe " << i;
+      }
+    }
+  }
+}
+
+TEST(FitingTree, ConeFeasibilityNeedsNoMoreSegments) {
+  const auto keys = fitree::datasets::Weblogs(20000, 17);
+  FitingTreeConfig endpoint;
+  endpoint.error = 64.0;
+  endpoint.buffer_size = 0;
+  FitingTreeConfig cone = endpoint;
+  cone.feasibility = Feasibility::kCone;
+  auto a = FitingTree<int64_t>::Create(keys, endpoint);
+  auto b = FitingTree<int64_t>::Create(keys, cone);
+  EXPECT_LE(b->SegmentCount(), a->SegmentCount());
+  const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
+      keys, 1000, fitree::workloads::Access::kUniform, 0.3, 18);
+  for (const int64_t probe : probes) {
+    ASSERT_EQ(a->Contains(probe), b->Contains(probe));
+  }
+}
+
+TEST(FitingTree, TemplateFanoutsWork) {
+  const auto keys = fitree::datasets::Weblogs(20000, 19);
+  FitingTreeConfig config;
+  config.error = 32.0;
+  config.buffer_size = 0;
+  auto narrow = FitingTree<int64_t, 8, 8>::Create(keys, config);
+  auto wide = FitingTree<int64_t, 128, 128>::Create(keys, config);
+  EXPECT_EQ(narrow->SegmentCount(), wide->SegmentCount());
+  EXPECT_GE(narrow->TreeHeight(), wide->TreeHeight());
+  for (size_t i = 0; i < keys.size(); i += 97) {
+    ASSERT_TRUE(narrow->Contains(keys[i]));
+    ASSERT_TRUE(wide->Contains(keys[i]));
+  }
+}
+
+TEST(FitingTree, BreakdownCountsAllProbes) {
+  const auto keys = fitree::datasets::Weblogs(5000, 21);
+  FitingTreeConfig config;
+  config.error = 64.0;
+  config.buffer_size = 0;
+  auto tree = FitingTree<int64_t>::Create(keys, config);
+  int64_t tree_ns = 0, page_ns = 0;
+  for (size_t i = 0; i < keys.size(); i += 10) {
+    ASSERT_TRUE(tree->ContainsWithBreakdown(keys[i], &tree_ns, &page_ns));
+  }
+  EXPECT_GT(tree_ns, 0);
+  EXPECT_GT(page_ns, 0);
+}
+
+TEST(FitingTree, ProbesFarOutsideKeyRange) {
+  // A key far below the leftmost segment routes there via the floor
+  // fallback and predicts a hugely negative position; the window clamp
+  // must not wrap (regression: negative double -> size_t cast).
+  const auto keys = fitree::datasets::Weblogs(5000, 23);
+  FitingTreeConfig config;
+  config.error = 64.0;
+  config.buffer_size = 0;
+  auto tree = FitingTree<int64_t>::Create(keys, config);
+  EXPECT_FALSE(tree->Contains(keys.front() - 1'000'000));
+  EXPECT_FALSE(tree->Contains(-1'000'000'000));
+  EXPECT_FALSE(tree->Contains(keys.back() + 1'000'000));
+  tree->Insert(keys.front() - 1'000'000);
+  EXPECT_TRUE(tree->Contains(keys.front() - 1'000'000));
+}
+
+TEST(FitingTree, EmptyAndSingleton) {
+  const std::vector<int64_t> empty;
+  FitingTreeConfig config;
+  config.error = 16.0;
+  auto tree = FitingTree<int64_t>::Create(empty, config);
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_FALSE(tree->Contains(5));
+  tree->Insert(5);
+  EXPECT_TRUE(tree->Contains(5));
+  EXPECT_EQ(tree->size(), 1u);
+  tree->Insert(3);  // smaller than every existing key
+  tree->Insert(9);
+  EXPECT_TRUE(tree->Contains(3));
+  EXPECT_TRUE(tree->Contains(9));
+  std::vector<int64_t> scanned;
+  tree->ScanRange(0, 100, [&](int64_t key) { scanned.push_back(key); });
+  EXPECT_EQ(scanned, (std::vector<int64_t>{3, 5, 9}));
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/non_linearity.h"
+#include "core/optimal_segmentation.h"
+#include "core/shrinking_cone.h"
+#include "datasets/datasets.h"
+
+namespace {
+
+using fitree::Feasibility;
+using fitree::OptimalSegmentCount;
+using fitree::Segment;
+using fitree::SegmentShrinkingCone;
+
+// The segmentation invariant: segments partition the rank space and every
+// key's predicted position is within `error` of its true rank (a hair of
+// floating-point slack on top).
+template <typename K>
+void CheckInvariants(const std::vector<K>& keys, double error,
+                     Feasibility feasibility) {
+  const auto segments =
+      SegmentShrinkingCone<K>(std::span<const K>(keys), error, feasibility);
+  ASSERT_FALSE(segments.empty());
+  size_t expected_start = 0;
+  for (const Segment<K>& seg : segments) {
+    EXPECT_EQ(seg.start, expected_start);
+    EXPECT_GT(seg.length, 0u);
+    EXPECT_EQ(seg.first_key, keys[seg.start]);
+    for (size_t i = 0; i < seg.length; ++i) {
+      const double pred = seg.Predict(keys[seg.start + i]);
+      const double rank = static_cast<double>(seg.start + i);
+      EXPECT_LE(std::abs(pred - rank), error + 1e-6)
+          << "segment at " << seg.start << " key index " << i;
+    }
+    expected_start += seg.length;
+  }
+  EXPECT_EQ(expected_start, keys.size());
+}
+
+TEST(ShrinkingCone, ErrorBoundAcrossSyntheticDatasets) {
+  const size_t n = 20000;
+  const std::vector<std::vector<int64_t>> datasets = {
+      fitree::datasets::Weblogs(n, 1),       fitree::datasets::Iot(n, 2),
+      fitree::datasets::Maps(n, 3),          fitree::datasets::OsmLongitude(n, 4),
+      fitree::datasets::TaxiPickupTime(n, 5), fitree::datasets::TaxiDropLat(n, 6),
+      fitree::datasets::TaxiDropLon(n, 7),   fitree::datasets::Step(n, 100)};
+  for (const auto& keys : datasets) {
+    for (const double error : {10.0, 100.0, 1000.0}) {
+      CheckInvariants(keys, error, Feasibility::kEndpointLine);
+      CheckInvariants(keys, error, Feasibility::kCone);
+    }
+  }
+}
+
+TEST(ShrinkingCone, LinearDataCollapsesToOneSegment) {
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < 10000; ++i) keys.push_back(i * 5);
+  for (const auto feasibility :
+       {Feasibility::kEndpointLine, Feasibility::kCone}) {
+    const auto segments =
+        SegmentShrinkingCone<int64_t>(std::span<const int64_t>(keys), 1.0,
+                                      feasibility);
+    EXPECT_EQ(segments.size(), 1u);
+  }
+}
+
+TEST(ShrinkingCone, SingleAndTinyInputs) {
+  const std::vector<int64_t> empty;
+  EXPECT_TRUE(SegmentShrinkingCone<int64_t>(std::span<const int64_t>(empty),
+                                            10.0)
+                  .empty());
+  CheckInvariants<int64_t>({42}, 10.0, Feasibility::kEndpointLine);
+  CheckInvariants<int64_t>({42}, 10.0, Feasibility::kCone);
+  CheckInvariants<int64_t>({1, 2}, 0.0, Feasibility::kEndpointLine);
+  CheckInvariants<int64_t>({1, 1000000}, 0.0, Feasibility::kCone);
+}
+
+// The exact hull fitter must agree with the O(w^2) pairwise feasibility
+// oracle: every segment it emits is feasible, and extending any segment by
+// one more key is infeasible (that is what makes greedy optimal).
+TEST(ShrinkingCone, ConeModeMatchesBruteForceFeasibility) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int64_t> keys;
+    int64_t key = 0;
+    const int64_t spread = 1 + static_cast<int64_t>(rng() % 1000);
+    for (int i = 0; i < 400; ++i) {
+      key += 1 + static_cast<int64_t>(rng() % spread);
+      keys.push_back(key);
+    }
+    const double error = 1.0 + static_cast<double>(rng() % 20);
+    const auto segments = SegmentShrinkingCone<int64_t>(
+        std::span<const int64_t>(keys), error, Feasibility::kCone);
+    for (size_t s = 0; s < segments.size(); ++s) {
+      // Rebase ranks so the brute-force oracle sees local positions, like
+      // the greedy fitter did when it opened the segment.
+      const std::vector<int64_t> window(
+          keys.begin() + segments[s].start,
+          keys.begin() + segments[s].start + segments[s].length);
+      EXPECT_TRUE(fitree::Feasibility2DBruteForce(
+          std::span<const int64_t>(window), 0, window.size(), error))
+          << "round " << round << " segment " << s;
+      if (s + 1 < segments.size()) {
+        std::vector<int64_t> extended = window;
+        extended.push_back(keys[segments[s].start + segments[s].length]);
+        EXPECT_FALSE(fitree::Feasibility2DBruteForce(
+            std::span<const int64_t>(extended), 0, extended.size(), error))
+            << "round " << round << " segment " << s
+            << " should have been maximal";
+      }
+    }
+  }
+}
+
+TEST(OptimalSegmentation, NeverWorseThanGreedy) {
+  const size_t n = 20000;
+  const std::vector<std::vector<int64_t>> datasets = {
+      fitree::datasets::Weblogs(n, 1), fitree::datasets::Iot(n, 2),
+      fitree::datasets::TaxiDropLat(n, 6), fitree::datasets::Step(n, 100)};
+  for (const auto& keys : datasets) {
+    for (const double error : {10.0, 100.0}) {
+      const size_t greedy =
+          SegmentShrinkingCone<int64_t>(std::span<const int64_t>(keys), error)
+              .size();
+      const size_t optimal =
+          OptimalSegmentCount<int64_t>(std::span<const int64_t>(keys), error);
+      EXPECT_LE(optimal, greedy);
+      EXPECT_GE(optimal, 1u);
+    }
+  }
+}
+
+TEST(OptimalSegmentation, AdversarialConeGapGrowsWithPatterns) {
+  const double error = 100.0;
+  const auto data = fitree::datasets::AdversarialCone(error, 100);
+  const size_t greedy =
+      SegmentShrinkingCone<double>(std::span<const double>(data.keys), error)
+          .size();
+  const size_t optimal = OptimalSegmentCount<double>(
+      std::span<const double>(data.keys), error);
+  // One free line threads all clusters; the apex-pinned greedy cone cannot.
+  EXPECT_LE(optimal, 2u);
+  EXPECT_GE(greedy, 20u);
+}
+
+TEST(NonLinearity, RatioBoundsAndShape) {
+  const auto step = fitree::datasets::Step(20000, 100);
+  // Below the step size each run needs its own segment (ratio ~(e+1)/step);
+  // past it the staircase is globally linear and collapses to one segment.
+  const double small = fitree::NonLinearityRatio<int64_t>(step, 10.0);
+  const double large = fitree::NonLinearityRatio<int64_t>(step, 150.0);
+  EXPECT_GT(small, 0.05);
+  EXPECT_LE(small, 1.0 + 1e-9);
+  EXPECT_LT(large, small);
+}
+
+}  // namespace

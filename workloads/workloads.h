@@ -1,0 +1,107 @@
+// Workload builders: lookup probe streams (with a controllable fraction of
+// absent keys), insert streams drawn from the gaps of the base
+// distribution, and range queries of a target selectivity.
+
+#ifndef FITREE_WORKLOADS_WORKLOADS_H_
+#define FITREE_WORKLOADS_WORKLOADS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace fitree::workloads {
+
+enum class Access {
+  kUniform,  // probes drawn uniformly over the key set
+};
+
+template <typename K>
+struct RangeQuery {
+  K lo{};
+  K hi{};
+};
+
+namespace detail {
+
+// A key strictly inside a randomly chosen gap of `keys`, i.e. absent from
+// it. Falls back to an existing key when the data leaves no room (e.g. fully
+// dense ranges).
+template <typename K>
+K AbsentKey(const std::vector<K>& keys, std::mt19937_64& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const size_t i = rng() % (keys.size() - 1);
+    const K gap = keys[i + 1] - keys[i];
+    if (gap > K{1}) {
+      return keys[i] + K{1} + static_cast<K>(rng() % static_cast<uint64_t>(gap - K{1}));
+    }
+  }
+  return keys[rng() % keys.size()];
+}
+
+}  // namespace detail
+
+// `count` point-lookup probes over `keys` (sorted). An `absent_fraction` of
+// them miss: they fall strictly inside gaps of the key set.
+template <typename K>
+std::vector<K> MakeLookupProbes(const std::vector<K>& keys, size_t count,
+                                Access /*access*/, double absent_fraction,
+                                uint64_t seed) {
+  std::vector<K> probes;
+  probes.reserve(count);
+  if (keys.empty()) return probes;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  for (size_t i = 0; i < count; ++i) {
+    if (keys.size() > 1 && absent_fraction > 0.0 &&
+        unif(rng) < absent_fraction) {
+      probes.push_back(detail::AbsentKey(keys, rng));
+    } else {
+      probes.push_back(keys[rng() % keys.size()]);
+    }
+  }
+  return probes;
+}
+
+// `count` insert keys drawn from the same distribution as `keys`: each lands
+// strictly inside a uniformly chosen gap, so it is absent from the base data
+// (duplicates within the stream itself are possible and benign for
+// set-semantics indexes).
+template <typename K>
+std::vector<K> MakeInserts(const std::vector<K>& keys, size_t count,
+                           uint64_t seed) {
+  std::vector<K> inserts;
+  inserts.reserve(count);
+  if (keys.size() < 2) return inserts;
+  std::mt19937_64 rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    inserts.push_back(detail::AbsentKey(keys, rng));
+  }
+  return inserts;
+}
+
+// `count` closed ranges [lo, hi] each spanning ~selectivity * keys.size()
+// consecutive keys.
+template <typename K>
+std::vector<RangeQuery<K>> MakeRangeQueries(const std::vector<K>& keys,
+                                            size_t count, double selectivity,
+                                            uint64_t seed) {
+  std::vector<RangeQuery<K>> queries;
+  queries.reserve(count);
+  if (keys.empty()) return queries;
+  const size_t span = std::max<size_t>(
+      1, static_cast<size_t>(selectivity * static_cast<double>(keys.size())));
+  std::mt19937_64 rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t start =
+        keys.size() > span ? rng() % (keys.size() - span) : 0;
+    const size_t end = std::min(keys.size() - 1, start + span - 1);
+    queries.push_back({keys[start], keys[end]});
+  }
+  return queries;
+}
+
+}  // namespace fitree::workloads
+
+#endif  // FITREE_WORKLOADS_WORKLOADS_H_
