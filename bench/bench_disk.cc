@@ -1,0 +1,282 @@
+// Disk-resident FITing-Tree vs fixed paging, through the buffer pool.
+//
+// Builds the index file on disk (segment table + sorted key/payload leaf
+// pages, see storage/segment_file.h), then serves point lookups and range
+// scans entirely through the buffer-pool cache while counting page I/O.
+// Sweeps (a) the error bound, which trades in-memory segment-table size
+// against lookup-window width in pages, and (b) the cache size as a
+// fraction of the leaf pages, under uniform and Zipfian probe skew. The
+// fixed-paging baseline (one data-blind segment per page) rides the same
+// read path.
+//
+// Every configuration is first validated against the in-memory
+// StaticFitingTree oracle: lookups (present and absent) must return the
+// oracle's rank payload and range scans must emit the oracle's keys.
+//
+// Expected shape: pages-read/op falls toward 0 as the cache fraction
+// approaches 1, and at any partial cache Zipfian skew buys a higher hit
+// rate than uniform. Larger errors read more pages per lookup but shrink
+// the in-memory segment table; at small errors FITing-Tree tracks fixed
+// paging's pages/lookup (within the odd window that straddles a page
+// boundary) while its segment table stays an order of magnitude smaller
+// than one entry per page — the paper's Fig 6 contrast, restated in I/O.
+//
+// Env knobs (see EXPERIMENTS.md): FITREE_BENCH_SCALE,
+// FITREE_BENCH_PAGE_BYTES, FITREE_BENCH_CACHE_PAGES (0 = sweep fractions),
+// FITREE_BENCH_DISK_PATH.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/env.h"
+#include "common/io_stats.h"
+#include "common/table_printer.h"
+#include "core/static_fiting_tree.h"
+#include "datasets/datasets.h"
+#include "storage/disk_fiting_tree.h"
+#include "storage/segment_file.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using fitree::GetEnvInt64;
+using fitree::IoStats;
+using fitree::PackedSegment;
+using fitree::StaticFitingTree;
+using fitree::TablePrinter;
+using fitree::storage::DiskFitingTree;
+using fitree::storage::LeafCapacity;
+using fitree::storage::MakeFixedSegments;
+using fitree::storage::SegmentFileOptions;
+using fitree::storage::WriteSegmentFile;
+using fitree::workloads::Access;
+
+struct ProbeSet {
+  Access access;
+  const char* name;
+  std::vector<int64_t> probes;
+};
+
+// Checks the disk tree against the in-memory oracle on a probe prefix and
+// a handful of range scans. Exits non-zero on any mismatch: a bench that
+// measures wrong answers measures nothing.
+void ValidateOrDie(DiskFitingTree<int64_t>& disk,
+                   const StaticFitingTree<int64_t>& oracle,
+                   std::span<const int64_t> probes, const char* label) {
+  const size_t checks = std::min<size_t>(probes.size(), 2000);
+  for (size_t i = 0; i < checks; ++i) {
+    const int64_t key = probes[i];
+    const auto got = disk.Lookup(key);
+    const auto want = oracle.Find(key);
+    const bool match = want.has_value()
+                           ? (got.has_value() && *got == *want)
+                           : !got.has_value();
+    if (!match || disk.LowerBound(key) != oracle.LowerBound(key)) {
+      std::fprintf(stderr, "bench_disk: %s: mismatch vs oracle at key %" PRId64 "\n",
+                   label, key);
+      std::exit(1);
+    }
+  }
+  const auto ranges = fitree::workloads::MakeRangeQueries<int64_t>(
+      oracle.data(), 32, /*selectivity=*/0.001, /*seed=*/77);
+  for (const auto& q : ranges) {
+    std::vector<int64_t> got;
+    disk.ScanRange(q.lo, q.hi, [&](int64_t k, uint64_t) { got.push_back(k); });
+    std::vector<int64_t> want;
+    oracle.ScanRange(q.lo, q.hi, [&](int64_t k) { want.push_back(k); });
+    if (got != want) {
+      std::fprintf(stderr, "bench_disk: %s: range scan mismatch\n", label);
+      std::exit(1);
+    }
+  }
+  if (disk.io_error()) {
+    std::fprintf(stderr, "bench_disk: %s: I/O error during validation\n",
+                 label);
+    std::exit(1);
+  }
+}
+
+void BenchRows(TablePrinter& lookups_table, TablePrinter& ranges_table,
+               const std::string& method, const std::string& param,
+               const std::string& path,
+               const StaticFitingTree<int64_t>& oracle,
+               std::span<const ProbeSet> probe_sets,
+               std::span<const double> cache_fractions, size_t cache_override,
+               uint64_t leaf_pages) {
+  for (const double fraction : cache_fractions) {
+    for (const ProbeSet& set : probe_sets) {
+      DiskFitingTree<int64_t>::Options options;
+      options.cache_pages =
+          cache_override > 0
+              ? cache_override
+              : std::max<uint64_t>(
+                    4, static_cast<uint64_t>(
+                           fraction * static_cast<double>(leaf_pages)));
+      const std::string frac_cell =
+          cache_override > 0 ? "env" : TablePrinter::Fmt(fraction, 2);
+      auto disk = DiskFitingTree<int64_t>::Open(path, options);
+      if (disk == nullptr) {
+        std::fprintf(stderr, "bench_disk: cannot open %s\n", path.c_str());
+        std::exit(1);
+      }
+      const std::string label = method + " " + param;
+      ValidateOrDie(*disk, oracle, set.probes, label.c_str());
+
+      // Validation doubles as cache warmup; measure steady state.
+      disk->ResetIoStats();
+      const size_t ops = set.probes.size();
+      const double ns = fitree::bench::MeasurePerOpNs(ops, [&](size_t i) {
+        return disk->Lookup(set.probes[i]).value_or(0);
+      });
+      const IoStats io = disk->io();
+      lookups_table.AddRow(
+          {method, param, set.name, std::to_string(options.cache_pages),
+           frac_cell, TablePrinter::Fmt(ns, 1),
+           TablePrinter::Fmt(static_cast<double>(io.pages_read) /
+                                 static_cast<double>(ops),
+                             4),
+           TablePrinter::Fmt(io.HitRate(), 3)});
+
+      // Range scans: uniform starts only (skew matters less once a scan
+      // streams pages), at the same cache point.
+      if (set.access == Access::kUniform) {
+        const auto ranges = fitree::workloads::MakeRangeQueries<int64_t>(
+            oracle.data(), 512, /*selectivity=*/0.0005, /*seed=*/99);
+        disk->ResetIoStats();
+        const double range_ns =
+            fitree::bench::MeasurePerOpNs(ranges.size(), [&](size_t i) {
+              uint64_t sum = 0;
+              disk->ScanRange(ranges[i].lo, ranges[i].hi,
+                              [&](int64_t, uint64_t v) { sum += v; });
+              return sum;
+            });
+        const IoStats rio = disk->io();
+        ranges_table.AddRow(
+            {method, param, std::to_string(options.cache_pages),
+             frac_cell, TablePrinter::Fmt(range_ns, 0),
+             TablePrinter::Fmt(static_cast<double>(rio.pages_read) /
+                                   static_cast<double>(ranges.size()),
+                               3),
+             TablePrinter::Fmt(rio.HitRate(), 3)});
+      }
+      if (disk->io_error()) {
+        std::fprintf(stderr, "bench_disk: I/O error while measuring %s\n",
+                     label.c_str());
+        std::exit(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = fitree::bench::ScaledN(400'000);
+  const size_t probes_n = fitree::bench::ScaledN(100'000);
+  const size_t page_bytes = static_cast<size_t>(
+      GetEnvInt64("FITREE_BENCH_PAGE_BYTES",
+                  static_cast<int64_t>(fitree::storage::kDefaultPageBytes)));
+  const size_t cache_override = static_cast<size_t>(
+      GetEnvInt64("FITREE_BENCH_CACHE_PAGES", 0));
+  const char* path_env = std::getenv("FITREE_BENCH_DISK_PATH");
+  const std::string path =
+      (path_env != nullptr && *path_env != '\0') ? path_env
+                                                 : "bench_disk_index.fit";
+
+  const auto keys =
+      fitree::datasets::Generate(fitree::datasets::RealWorld::kWeblogs, n, 42);
+  const size_t leaf_cap = LeafCapacity<int64_t>(page_bytes);
+  const uint64_t leaf_pages = (keys.size() + leaf_cap - 1) / leaf_cap;
+
+  std::vector<ProbeSet> probe_sets;
+  for (const Access access : {Access::kUniform, Access::kZipfian}) {
+    probe_sets.push_back(
+        {access, access == Access::kUniform ? "uniform" : "zipfian",
+         fitree::workloads::MakeLookupProbes<int64_t>(
+             keys, probes_n, access, /*absent_fraction=*/0.1, 43)});
+  }
+  // FITREE_BENCH_CACHE_PAGES pins the pool to one absolute frame count, so
+  // the fraction sweep collapses to a single point.
+  const std::vector<double> cache_fractions =
+      cache_override > 0 ? std::vector<double>{0.0}
+                         : std::vector<double>{0.02, 0.10, 1.00};
+
+  fitree::bench::PrintHeader(
+      "Disk-resident lookups/ranges through the buffer pool (Weblogs, n=" +
+      std::to_string(keys.size()) + ", page=" + std::to_string(page_bytes) +
+      "B, " + std::to_string(leaf_cap) + " keys/page)");
+  TablePrinter lookups_table({"method", "param", "access", "cache_pages",
+                              "cache_frac", "ns_per_lookup",
+                              "pages_read_per_lookup", "hit_rate"});
+  TablePrinter ranges_table({"method", "param", "cache_pages", "cache_frac",
+                             "ns_per_range", "pages_read_per_range",
+                             "hit_rate"});
+  TablePrinter files_table({"method", "param", "segments", "index_KB",
+                            "leaf_pages", "file_MB"});
+  const auto add_file_row = [&](const std::string& method,
+                                const std::string& param,
+                                const std::string& file_path) {
+    auto disk = DiskFitingTree<int64_t>::Open(file_path);
+    if (disk == nullptr) return;
+    const double file_mb =
+        static_cast<double>(disk->FileBytes()) / (1024.0 * 1024.0);
+    files_table.AddRow({method, param, std::to_string(disk->SegmentCount()),
+                        TablePrinter::Fmt(
+                            static_cast<double>(disk->IndexSizeBytes()) /
+                                1024.0,
+                            1),
+                        std::to_string(disk->LeafPageCount()),
+                        TablePrinter::Fmt(file_mb, 1)});
+  };
+
+  const SegmentFileOptions file_options{page_bytes};
+  for (const double error : {16.0, 128.0, 1024.0}) {
+    const auto oracle = StaticFitingTree<int64_t>::Create(keys, error);
+    if (!fitree::storage::WriteIndexFile(path, *oracle, file_options)) {
+      std::fprintf(stderr, "bench_disk: failed to write %s\n", path.c_str());
+      return 1;
+    }
+    const std::string param = "e=" + std::to_string(static_cast<int>(error));
+    add_file_row("FITing-Tree", param, path);
+    BenchRows(lookups_table, ranges_table, "FITing-Tree", param, path,
+              *oracle, probe_sets, cache_fractions, cache_override,
+              leaf_pages);
+  }
+
+  // Fixed paging: one data-blind segment per leaf page; the stored error
+  // (= keys per page) makes the lookup window exactly that page.
+  {
+    const auto oracle = StaticFitingTree<int64_t>::Create(keys, 64.0);
+    const auto fixed_segments =
+        MakeFixedSegments(std::span<const int64_t>(keys), leaf_cap);
+    if (!WriteSegmentFile<int64_t>(path, keys, {},
+                                   std::span<const PackedSegment<int64_t>>(
+                                       fixed_segments),
+                                   static_cast<double>(leaf_cap),
+                                   file_options)) {
+      std::fprintf(stderr, "bench_disk: failed to write %s\n", path.c_str());
+      return 1;
+    }
+    const std::string param = "page=" + std::to_string(leaf_cap);
+    add_file_row("Fixed", param, path);
+    BenchRows(lookups_table, ranges_table, "Fixed", param, path, *oracle,
+              probe_sets, cache_fractions, cache_override, leaf_pages);
+  }
+
+  files_table.Print(std::cout);
+  std::printf("\n");
+  lookups_table.Print(std::cout);
+  std::printf("\n");
+  ranges_table.Print(std::cout);
+  std::printf("\nvalidation: all configurations matched the in-memory oracle\n");
+  std::remove(path.c_str());
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace fitree {
@@ -37,6 +38,28 @@ enum class Feasibility {
 // and is within `error` of the key's true rank for every covered key (up to
 // floating-point rounding). For kEndpointLine, intercept == start exactly.
 template <typename K>
+struct Segment;
+
+// Fixed-width form of Segment used by the storage/ layer when serializing
+// the segment table to disk: size_t is platform-dependent, uint64_t is not,
+// so an index file written on one machine opens on another.
+template <typename K>
+struct PackedSegment {
+  K first_key{};
+  double slope = 0.0;
+  double intercept = 0.0;
+  uint64_t start = 0;   // rank of first covered key
+  uint64_t length = 0;  // number of covered keys
+
+  double Predict(const K& key) const {
+    return intercept +
+           slope * (static_cast<double>(key) - static_cast<double>(first_key));
+  }
+
+  friend bool operator==(const PackedSegment&, const PackedSegment&) = default;
+};
+
+template <typename K>
 struct Segment {
   K first_key{};
   double slope = 0.0;
@@ -48,7 +71,32 @@ struct Segment {
     return intercept +
            slope * (static_cast<double>(key) - static_cast<double>(first_key));
   }
+
+  PackedSegment<K> Pack() const {
+    return {first_key, slope, intercept, static_cast<uint64_t>(start),
+            static_cast<uint64_t>(length)};
+  }
 };
+
+// Rank window [begin, end) guaranteed to contain the key's insertion point
+// given its segment's prediction: the model is error-bounded on the
+// segment's keys and monotone between them, so the true rank is within
+// error+2 of `pred` and, for the floor segment, inside [seg_start,
+// seg_end]. Shared by the in-memory and disk-resident lookup paths so the
+// two stay bit-identical.
+inline std::pair<size_t, size_t> ErrorWindow(double pred, double error,
+                                             size_t seg_start,
+                                             size_t seg_end) {
+  const double wlo = pred - error - 2.0;
+  const double whi = pred + error + 2.0;
+  const size_t begin = wlo <= static_cast<double>(seg_start)
+                           ? seg_start
+                           : std::min(seg_end, static_cast<size_t>(wlo));
+  const size_t end = whi >= static_cast<double>(seg_end)
+                         ? seg_end
+                         : std::max(begin, static_cast<size_t>(whi));
+  return {begin, end};
+}
 
 namespace detail {
 

@@ -87,6 +87,15 @@ class StaticFitingTree {
     return directory_.MemoryBytes() + segments_.size() * kSegmentMetaBytes;
   }
 
+  // The segment table in the fixed-width form the storage/ serializer
+  // writes (see storage/segment_file.h).
+  std::vector<PackedSegment<K>> ExportSegmentTable() const {
+    std::vector<PackedSegment<K>> packed;
+    packed.reserve(segments_.size());
+    for (const auto& s : segments_) packed.push_back(s.Pack());
+    return packed;
+  }
+
   size_t SegmentCount() const { return segments_.size(); }
   int TreeHeight() const { return directory_.Height(); }
   double error() const { return error_; }
@@ -103,20 +112,8 @@ class StaticFitingTree {
     if (id == nullptr) return 0;  // key sorts before every indexed key
     const Segment<K>& seg = segments_[*id];
     const size_t seg_end = seg.start + seg.length;
-    // The true insertion point is within error+2 of the prediction (the
-    // model is error-bounded on the segment's keys and monotone between
-    // them) and, because this is the floor segment, inside
-    // [seg.start, seg_end].
     const double pred = seg.Predict(key);
-    const double wlo = pred - error_ - 2.0;
-    const double whi = pred + error_ + 2.0;
-    const size_t begin =
-        wlo <= static_cast<double>(seg.start)
-            ? seg.start
-            : std::min(seg_end, static_cast<size_t>(wlo));
-    const size_t end = whi >= static_cast<double>(seg_end)
-                           ? seg_end
-                           : std::max(begin, static_cast<size_t>(whi));
+    const auto [begin, end] = ErrorWindow(pred, error_, seg.start, seg_end);
     const size_t hint = static_cast<size_t>(std::max(0.0, pred));
     size_t i = detail::BoundedLowerBound(data_.data(), begin, end, hint, key,
                                          policy_);

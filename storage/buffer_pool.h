@@ -1,0 +1,171 @@
+// Fixed-capacity buffer-pool page cache over a PageSource: pin/unpin,
+// CLOCK (second-chance) eviction, and hit/miss/read counters. This is the
+// knob the disk benches sweep — frames * page_bytes is the fraction of the
+// file allowed to stay resident, and IoStats turns that into pages-read/op.
+//
+// Single-threaded by design (matches the per-thread index instances the
+// bench layer uses); no dirty pages because the index file is immutable
+// after bulk load.
+
+#ifndef FITREE_STORAGE_BUFFER_POOL_H_
+#define FITREE_STORAGE_BUFFER_POOL_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/io_stats.h"
+#include "storage/page.h"
+
+namespace fitree::storage {
+
+class BufferPool {
+ public:
+  BufferPool(PageSource* source, size_t page_bytes, size_t frames)
+      : source_(source),
+        page_bytes_(page_bytes),
+        arena_(page_bytes * (frames == 0 ? 1 : frames)),
+        frames_(frames == 0 ? 1 : frames) {
+    map_.reserve(frames_.size());
+  }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  size_t page_bytes() const { return page_bytes_; }
+  size_t frame_count() const { return frames_.size(); }
+  size_t CapacityBytes() const { return arena_.size(); }
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+
+  // True when `page_id` is currently resident (test/diagnostic hook; does
+  // not touch pins, the clock hand, or the counters).
+  bool Contains(uint32_t page_id) const {
+    return map_.find(page_id) != map_.end();
+  }
+
+  // Returns the resident page, pinned (caller must Unpin), or nullptr when
+  // the read fails verification or every frame is pinned.
+  const std::byte* Fetch(uint32_t page_id) {
+    if (const auto it = map_.find(page_id); it != map_.end()) {
+      Frame& f = frames_[it->second];
+      ++f.pins;
+      f.referenced = true;
+      ++stats_.cache_hits;
+      return FrameData(it->second);
+    }
+    ++stats_.cache_misses;
+    const size_t victim = PickVictim();
+    if (victim == kNoFrame) return nullptr;
+    Frame& f = frames_[victim];
+    if (f.valid) {
+      map_.erase(f.page_id);
+      f.valid = false;
+    }
+    if (!source_->ReadPageInto(page_id, FrameData(victim))) return nullptr;
+    ++stats_.pages_read;
+    stats_.bytes_read += page_bytes_;
+    f.page_id = page_id;
+    f.pins = 1;
+    f.referenced = true;
+    f.valid = true;
+    map_.emplace(page_id, victim);
+    return FrameData(victim);
+  }
+
+  void Unpin(uint32_t page_id) {
+    const auto it = map_.find(page_id);
+    assert(it != map_.end() && "Unpin of a non-resident page");
+    if (it == map_.end()) return;
+    Frame& f = frames_[it->second];
+    assert(f.pins > 0 && "Unpin without a matching Fetch");
+    if (f.pins > 0) --f.pins;
+  }
+
+ private:
+  struct Frame {
+    uint32_t page_id = 0;
+    uint32_t pins = 0;
+    bool referenced = false;
+    bool valid = false;
+  };
+
+  static constexpr size_t kNoFrame = static_cast<size_t>(-1);
+
+  std::byte* FrameData(size_t frame) {
+    return arena_.data() + frame * page_bytes_;
+  }
+
+  // CLOCK sweep: invalid frames are taken immediately, pinned frames are
+  // skipped, referenced frames get a second chance. Two full laps clear
+  // every reference bit, so only an all-pinned pool returns kNoFrame.
+  size_t PickVictim() {
+    for (size_t step = 0; step < 2 * frames_.size(); ++step) {
+      const size_t i = hand_;
+      hand_ = (hand_ + 1) % frames_.size();
+      Frame& f = frames_[i];
+      if (!f.valid) return i;
+      if (f.pins > 0) continue;
+      if (f.referenced) {
+        f.referenced = false;
+        continue;
+      }
+      return i;
+    }
+    return kNoFrame;
+  }
+
+  PageSource* source_;
+  size_t page_bytes_;
+  std::vector<std::byte> arena_;
+  std::vector<Frame> frames_;
+  std::unordered_map<uint32_t, size_t> map_;
+  size_t hand_ = 0;
+  IoStats stats_;
+};
+
+// RAII pin: fetches on construction, unpins on destruction. Falsy when the
+// fetch failed.
+class PinnedPage {
+ public:
+  PinnedPage() = default;
+  PinnedPage(BufferPool* pool, uint32_t page_id)
+      : pool_(pool), page_id_(page_id), data_(pool->Fetch(page_id)) {}
+  ~PinnedPage() { Release(); }
+
+  PinnedPage(PinnedPage&& o) noexcept
+      : pool_(o.pool_), page_id_(o.page_id_), data_(o.data_) {
+    o.data_ = nullptr;
+  }
+  PinnedPage& operator=(PinnedPage&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      page_id_ = o.page_id_;
+      data_ = o.data_;
+      o.data_ = nullptr;
+    }
+    return *this;
+  }
+  PinnedPage(const PinnedPage&) = delete;
+  PinnedPage& operator=(const PinnedPage&) = delete;
+
+  explicit operator bool() const { return data_ != nullptr; }
+  const std::byte* data() const { return data_; }
+
+ private:
+  void Release() {
+    if (data_ != nullptr) pool_->Unpin(page_id_);
+    data_ = nullptr;
+  }
+
+  BufferPool* pool_ = nullptr;
+  uint32_t page_id_ = 0;
+  const std::byte* data_ = nullptr;
+};
+
+}  // namespace fitree::storage
+
+#endif  // FITREE_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,198 @@
+// Disk-resident FITing-Tree: the paper's segment-predict-then-bounded-
+// search lookup (Sec 4.1) run against an index file, with every leaf
+// access going through the buffer pool. The directory (B+ tree over
+// segment first-keys) and segment table stay in memory — they are the
+// "index" the paper sizes in Fig 6 — while the sorted key/payload pages
+// stay on disk and are cached page-granularly, which is exactly the
+// regime the Sec 5 cost model charges in pages.
+//
+// The lookup shares core::ErrorWindow with StaticFitingTree::Bound, so a
+// serialized tree answers every query identically to its in-memory
+// counterpart (tested in tests/test_disk_fiting_tree.cc).
+
+#ifndef FITREE_STORAGE_DISK_FITING_TREE_H_
+#define FITREE_STORAGE_DISK_FITING_TREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "btree/btree_map.h"
+#include "common/io_stats.h"
+#include "core/shrinking_cone.h"
+#include "storage/buffer_pool.h"
+#include "storage/segment_file.h"
+
+namespace fitree::storage {
+
+template <typename K>
+class DiskFitingTree {
+ public:
+  struct Options {
+    // Buffer-pool capacity in pages; 1.0 * leaf pages means the whole
+    // data file fits (plus the handful of non-leaf pages never cached).
+    size_t cache_pages = 64;
+  };
+
+  // Opens `path`, loads the meta page and segment table, and builds the
+  // in-memory directory. Returns nullptr when the file fails validation.
+  static std::unique_ptr<DiskFitingTree<K>> Open(const std::string& path,
+                                                 const Options& options = {}) {
+    auto tree = std::unique_ptr<DiskFitingTree<K>>(new DiskFitingTree<K>());
+    if (!tree->reader_.Open(path)) return nullptr;
+    if (!tree->reader_.ReadSegmentTable(&tree->segments_)) return nullptr;
+    tree->pool_ = std::make_unique<BufferPool>(
+        &tree->reader_, tree->reader_.page_bytes(),
+        std::max<size_t>(1, options.cache_pages));
+    std::vector<std::pair<K, uint32_t>> entries;
+    entries.reserve(tree->segments_.size());
+    for (size_t i = 0; i < tree->segments_.size(); ++i) {
+      entries.emplace_back(tree->segments_[i].first_key,
+                           static_cast<uint32_t>(i));
+    }
+    tree->directory_.BulkLoad(std::move(entries));
+    return tree;
+  }
+
+  size_t size() const { return reader_.meta().key_count; }
+  double error() const { return reader_.meta().error; }
+  size_t SegmentCount() const { return segments_.size(); }
+  uint64_t LeafPageCount() const { return reader_.meta().leaf_page_count; }
+  uint64_t FileBytes() const {
+    return reader_.page_count() * reader_.page_bytes();
+  }
+  int TreeHeight() const { return directory_.Height(); }
+
+  // True once any page read has failed verification; results after that
+  // point are best-effort (lookups report "absent").
+  bool io_error() const { return io_error_; }
+
+  // In-memory index footprint: directory plus segment table (the leaf
+  // pages are data, cached separately — see CacheCapacityBytes()).
+  size_t IndexSizeBytes() const {
+    return directory_.MemoryBytes() +
+           segments_.size() * sizeof(PackedSegment<K>);
+  }
+  size_t CacheCapacityBytes() const { return pool_->CapacityBytes(); }
+
+  const IoStats& io() const { return pool_->stats(); }
+  void ResetIoStats() { pool_->ResetStats(); }
+
+  // Rank of the first key >= `key` (insertion point), as in the in-memory
+  // tree, but every candidate page is faulted through the buffer pool.
+  size_t LowerBound(const K& key) {
+    if (size() == 0) return 0;
+    const uint32_t* id = directory_.FindFloor(key);
+    if (id == nullptr) return 0;  // key sorts before every indexed key
+    const PackedSegment<K>& seg = segments_[*id];
+    const size_t seg_start = static_cast<size_t>(seg.start);
+    const size_t seg_end = seg_start + static_cast<size_t>(seg.length);
+    const auto [begin, end] = fitree::ErrorWindow(
+        seg.Predict(key), reader_.meta().error, seg_start, seg_end);
+    return WindowLowerBound(begin, end, key);
+  }
+
+  // Payload stored for `key`, or nullopt when absent.
+  std::optional<uint64_t> Lookup(const K& key) {
+    const size_t rank = LowerBound(key);
+    if (rank >= size()) return std::nullopt;
+    const auto entry = EntryAt(rank);
+    if (!entry.has_value() || entry->key != key) return std::nullopt;
+    return entry->value;
+  }
+
+  bool Contains(const K& key) { return Lookup(key).has_value(); }
+
+  // Calls fn(key, value) for every entry in [lo, hi] ascending; returns the
+  // number emitted. One page fault per touched leaf page.
+  template <typename Fn>
+  size_t ScanRange(const K& lo, const K& hi, Fn fn) {
+    if (size() == 0 || hi < lo) return 0;
+    const size_t cap = reader_.meta().leaf_capacity;
+    size_t rank = LowerBound(lo);
+    size_t emitted = 0;
+    while (rank < size()) {
+      const uint64_t leaf = rank / cap;
+      PinnedPage pin(pool_.get(), reader_.LeafPageId(leaf));
+      if (!pin) {
+        io_error_ = true;
+        return emitted;
+      }
+      const size_t page_end = std::min(size(), (leaf + 1) * cap);
+      for (; rank < page_end; ++rank) {
+        const auto entry = LoadAs<LeafEntry<K>>(
+            pin.data() + kPageHeaderBytes + (rank % cap) * sizeof(LeafEntry<K>));
+        if (hi < entry.key) return emitted;
+        fn(entry.key, entry.value);
+        ++emitted;
+      }
+    }
+    return emitted;
+  }
+
+  // Number of keys in [lo, hi] via a counting scan.
+  size_t RangeCount(const K& lo, const K& hi) {
+    return ScanRange(lo, hi, [](const K&, uint64_t) {});
+  }
+
+ private:
+  DiskFitingTree() = default;
+
+  std::optional<LeafEntry<K>> EntryAt(size_t rank) {
+    const size_t cap = reader_.meta().leaf_capacity;
+    PinnedPage pin(pool_.get(), reader_.LeafPageId(rank / cap));
+    if (!pin) {
+      io_error_ = true;
+      return std::nullopt;
+    }
+    return LoadAs<LeafEntry<K>>(pin.data() + kPageHeaderBytes +
+                                (rank % cap) * sizeof(LeafEntry<K>));
+  }
+
+  // Lower bound of `key` over ranks [begin, end), searching page by page:
+  // a window of w ranks touches at most w / leaf_capacity + 1 pages, and
+  // pages before the answer are dismissed by one key comparison each.
+  size_t WindowLowerBound(size_t begin, size_t end, const K& key) {
+    if (begin >= end) return begin;
+    const size_t cap = reader_.meta().leaf_capacity;
+    for (uint64_t leaf = begin / cap; leaf <= (end - 1) / cap; ++leaf) {
+      const size_t slice_begin = std::max(begin, static_cast<size_t>(leaf) * cap);
+      const size_t slice_end = std::min(end, (static_cast<size_t>(leaf) + 1) * cap);
+      PinnedPage pin(pool_.get(), reader_.LeafPageId(leaf));
+      if (!pin) {
+        io_error_ = true;
+        return end;
+      }
+      const auto key_at = [&](size_t rank) {
+        return LoadAs<K>(pin.data() + kPageHeaderBytes +
+                         (rank % cap) * sizeof(LeafEntry<K>));
+      };
+      if (key_at(slice_end - 1) < key) continue;  // answer is further right
+      size_t lo = slice_begin, hi = slice_end;
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (key_at(mid) < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      return lo;
+    }
+    return end;
+  }
+
+  SegmentFileReader<K> reader_;
+  std::unique_ptr<BufferPool> pool_;
+  std::vector<PackedSegment<K>> segments_;
+  btree::BTreeMap<K, uint32_t, 16, 16> directory_;
+  bool io_error_ = false;
+};
+
+}  // namespace fitree::storage
+
+#endif  // FITREE_STORAGE_DISK_FITING_TREE_H_

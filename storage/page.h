@@ -1,0 +1,123 @@
+// Fixed-size page format for the disk-resident FITing-Tree (paper Sec 5's
+// page-granular cost model made literal): every on-disk page carries a
+// 16-byte typed header whose CRC32 covers the rest of the page, so torn
+// writes and bit rot are detected at read time rather than silently served.
+
+#ifndef FITREE_STORAGE_PAGE_H_
+#define FITREE_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace fitree::storage {
+
+inline constexpr size_t kDefaultPageBytes = 4096;
+// Small enough that tests can force multi-page files from tiny datasets,
+// large enough that every page type fits its header plus one record.
+inline constexpr size_t kMinPageBytes = 128;
+inline constexpr uint16_t kPageFormatVersion = 1;
+
+enum class PageType : uint16_t {
+  kMeta = 1,          // page 0: file-wide metadata (SegmentFileMeta)
+  kSegmentTable = 2,  // packed segment records
+  kLeaf = 3,          // sorted key/payload entries
+};
+
+struct PageHeader {
+  uint32_t checksum;  // CRC32 of bytes [4, page_bytes)
+  uint16_t type;      // PageType
+  uint16_t version;   // kPageFormatVersion
+  uint32_t page_id;   // file-global page number, guards misdirected reads
+  uint32_t count;     // records stored in this page
+};
+static_assert(sizeof(PageHeader) == 16);
+inline constexpr size_t kPageHeaderBytes = sizeof(PageHeader);
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace detail
+
+inline uint32_t Crc32(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ detail::kCrc32Table[(crc ^ p[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// Unaligned-safe record access inside raw page buffers.
+template <typename T>
+T LoadAs(const std::byte* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void StoreAs(std::byte* p, const T& v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+// Stamps the header and checksum onto a fully-populated page buffer. The
+// caller must have zero-initialized the buffer before filling it so struct
+// padding and the unused tail hash deterministically.
+inline void SealPage(std::byte* page, size_t page_bytes, PageType type,
+                     uint32_t page_id, uint32_t count) {
+  PageHeader h{};
+  h.checksum = 0;
+  h.type = static_cast<uint16_t>(type);
+  h.version = kPageFormatVersion;
+  h.page_id = page_id;
+  h.count = count;
+  StoreAs(page, h);
+  StoreAs(page, Crc32(page + sizeof(uint32_t), page_bytes - sizeof(uint32_t)));
+}
+
+// Returns false when the checksum, version, type, or page id disagree with
+// what the caller expected to read.
+inline bool VerifyPage(const std::byte* page, size_t page_bytes,
+                       PageType expected_type, uint32_t expected_id,
+                       PageHeader* out = nullptr) {
+  const PageHeader h = LoadAs<PageHeader>(page);
+  if (h.checksum !=
+      Crc32(page + sizeof(uint32_t), page_bytes - sizeof(uint32_t))) {
+    return false;
+  }
+  if (h.version != kPageFormatVersion) return false;
+  if (h.type != static_cast<uint16_t>(expected_type)) return false;
+  if (h.page_id != expected_id) return false;
+  if (out != nullptr) *out = h;
+  return true;
+}
+
+// Source of verified page reads for the buffer pool: implemented by
+// SegmentFileReader (pread + VerifyPage) and by in-memory fakes in tests.
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+
+  // Fills `out` (page_bytes() long) with page `page_id`. Returns false on
+  // I/O failure or page verification failure; `out` is then unspecified.
+  virtual bool ReadPageInto(uint32_t page_id, std::byte* out) = 0;
+};
+
+}  // namespace fitree::storage
+
+#endif  // FITREE_STORAGE_PAGE_H_

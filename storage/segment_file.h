@@ -1,0 +1,334 @@
+// Single-file on-disk layout for a bulk-loaded FITing-Tree:
+//
+//   page 0                                meta (SegmentFileMeta)
+//   pages 1 .. S                          segment table (PackedSegment<K>)
+//   pages 1+S .. 1+S+L-1                  leaves (sorted LeafEntry<K>)
+//
+// Leaves are rank-contiguous with a fixed per-page capacity, so rank r
+// lives in leaf page r / leaf_capacity at slot r % leaf_capacity — the
+// segment models' rank predictions translate to page numbers with pure
+// arithmetic, no per-segment pointers. The writer streams sealed
+// (checksummed) pages; the reader serves them back with pread and verifies
+// every page before exposing it.
+
+#ifndef FITREE_STORAGE_SEGMENT_FILE_H_
+#define FITREE_STORAGE_SEGMENT_FILE_H_
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/shrinking_cone.h"
+#include "core/static_fiting_tree.h"
+#include "storage/page.h"
+
+namespace fitree::storage {
+
+inline constexpr uint64_t kSegmentFileMagic = 0x0031454552544946ull;  // "FITREE1"
+
+// One leaf record: the key plus an opaque 64-bit payload (a row id / rank
+// in the benches). Kept standard-layout so pages round-trip by memcpy.
+template <typename K>
+struct LeafEntry {
+  K key;
+  uint64_t value;
+};
+
+struct SegmentFileMeta {
+  uint64_t magic = 0;
+  uint32_t format_version = 0;
+  uint32_t page_bytes = 0;
+  uint64_t key_count = 0;
+  uint64_t segment_count = 0;
+  uint64_t segment_page_count = 0;
+  uint64_t leaf_page_count = 0;
+  uint32_t key_bytes = 0;
+  uint32_t leaf_entry_bytes = 0;
+  uint32_t leaf_capacity = 0;     // LeafEntry records per leaf page
+  uint32_t segment_capacity = 0;  // PackedSegment records per segment page
+  double error = 0.0;             // lookup window half-width the models obey
+};
+
+template <typename K>
+constexpr size_t LeafCapacity(size_t page_bytes) {
+  return (page_bytes - kPageHeaderBytes) / sizeof(LeafEntry<K>);
+}
+
+template <typename K>
+constexpr size_t SegmentCapacity(size_t page_bytes) {
+  return (page_bytes - kPageHeaderBytes) / sizeof(PackedSegment<K>);
+}
+
+struct SegmentFileOptions {
+  size_t page_bytes = kDefaultPageBytes;
+};
+
+// Fixed-size paging layout expressed in segment-table form (the paper's
+// "Fixed" baseline, Sec 7.1): one zero-slope segment per run of
+// `segment_length` keys, predicting every key at the run's start. Serialize
+// it with error = segment_length so the lookup window spans the whole
+// segment and the in-page search degenerates to binary search of the page —
+// structurally the same read path as FITing-Tree, boundaries data-blind.
+template <typename K>
+std::vector<PackedSegment<K>> MakeFixedSegments(std::span<const K> keys,
+                                                size_t segment_length) {
+  std::vector<PackedSegment<K>> segments;
+  if (segment_length == 0) segment_length = 1;
+  for (size_t begin = 0; begin < keys.size(); begin += segment_length) {
+    const size_t length = std::min(segment_length, keys.size() - begin);
+    segments.push_back({keys[begin], 0.0, static_cast<double>(begin),
+                        static_cast<uint64_t>(begin),
+                        static_cast<uint64_t>(length)});
+  }
+  return segments;
+}
+
+// Writes keys + payloads + segment table as one index file. `values` maps
+// rank -> payload and may be empty, in which case the payload is the rank
+// itself. `segments` must partition [0, keys.size()) in order, and every
+// key's predicted rank must be within `error` of its true rank (true by
+// construction for SegmentShrinkingCone output and MakeFixedSegments with
+// error >= segment_length - 1).
+template <typename K>
+bool WriteSegmentFile(const std::string& path, std::span<const K> keys,
+                      std::span<const uint64_t> values,
+                      std::span<const PackedSegment<K>> segments, double error,
+                      const SegmentFileOptions& opts = {}) {
+  const size_t page_bytes = opts.page_bytes;
+  if (page_bytes < kMinPageBytes) return false;
+  const size_t leaf_cap = LeafCapacity<K>(page_bytes);
+  const size_t seg_cap = SegmentCapacity<K>(page_bytes);
+  if (leaf_cap == 0 || seg_cap == 0) return false;
+  if (!values.empty() && values.size() != keys.size()) return false;
+  uint64_t covered = 0;
+  for (const auto& s : segments) {
+    if (s.start != covered) return false;
+    covered += s.length;
+  }
+  if (covered != keys.size()) return false;
+
+  const uint64_t seg_pages = (segments.size() + seg_cap - 1) / seg_cap;
+  const uint64_t leaf_pages = (keys.size() + leaf_cap - 1) / leaf_cap;
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = true;
+  std::vector<std::byte> page(page_bytes, std::byte{0});
+  const auto emit = [&](PageType type, uint32_t page_id, uint32_t count) {
+    SealPage(page.data(), page_bytes, type, page_id, count);
+    ok = ok && std::fwrite(page.data(), 1, page_bytes, f) == page_bytes;
+    std::fill(page.begin(), page.end(), std::byte{0});
+  };
+
+  SegmentFileMeta meta;
+  meta.magic = kSegmentFileMagic;
+  meta.format_version = kPageFormatVersion;
+  meta.page_bytes = static_cast<uint32_t>(page_bytes);
+  meta.key_count = keys.size();
+  meta.segment_count = segments.size();
+  meta.segment_page_count = seg_pages;
+  meta.leaf_page_count = leaf_pages;
+  meta.key_bytes = sizeof(K);
+  meta.leaf_entry_bytes = sizeof(LeafEntry<K>);
+  meta.leaf_capacity = static_cast<uint32_t>(leaf_cap);
+  meta.segment_capacity = static_cast<uint32_t>(seg_cap);
+  meta.error = error;
+  StoreAs(page.data() + kPageHeaderBytes, meta);
+  emit(PageType::kMeta, 0, 1);
+
+  uint32_t page_id = 1;
+  for (uint64_t p = 0; p < seg_pages; ++p, ++page_id) {
+    const size_t begin = p * seg_cap;
+    const size_t end = std::min(segments.size(), begin + seg_cap);
+    for (size_t i = begin; i < end; ++i) {
+      StoreAs(page.data() + kPageHeaderBytes +
+                  (i - begin) * sizeof(PackedSegment<K>),
+              segments[i]);
+    }
+    emit(PageType::kSegmentTable, page_id, static_cast<uint32_t>(end - begin));
+  }
+
+  for (uint64_t p = 0; p < leaf_pages; ++p, ++page_id) {
+    const size_t begin = p * leaf_cap;
+    const size_t end = std::min(keys.size(), begin + leaf_cap);
+    for (size_t r = begin; r < end; ++r) {
+      const LeafEntry<K> entry{keys[r], values.empty()
+                                            ? static_cast<uint64_t>(r)
+                                            : values[r]};
+      StoreAs(page.data() + kPageHeaderBytes +
+                  (r - begin) * sizeof(LeafEntry<K>),
+              entry);
+    }
+    emit(PageType::kLeaf, page_id, static_cast<uint32_t>(end - begin));
+  }
+
+  ok = ok && std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+// Serializes a built in-memory tree (payload = rank), using its exported
+// segment table and stored error bound.
+template <typename K>
+bool WriteIndexFile(const std::string& path, const StaticFitingTree<K>& tree,
+                    const SegmentFileOptions& opts = {}) {
+  const auto segments = tree.ExportSegmentTable();
+  return WriteSegmentFile<K>(path, std::span<const K>(tree.data()),
+                             std::span<const uint64_t>(),
+                             std::span<const PackedSegment<K>>(segments),
+                             tree.error(), opts);
+}
+
+// pread-based reader. Open() validates the meta page; every subsequent
+// page read re-verifies checksum, type, and id, so a corrupted or
+// misdirected page is rejected instead of served.
+template <typename K>
+class SegmentFileReader final : public PageSource {
+ public:
+  SegmentFileReader() = default;
+  ~SegmentFileReader() override { Close(); }
+  SegmentFileReader(const SegmentFileReader&) = delete;
+  SegmentFileReader& operator=(const SegmentFileReader&) = delete;
+
+  bool Open(const std::string& path) {
+    Close();
+    fd_ = ::open(path.c_str(), O_RDONLY);
+    if (fd_ < 0) return Fail("open() failed");
+
+    // Bootstrap: the meta block sits at a fixed offset in page 0, and
+    // page_bytes is only known once it is read. Peek, sanity-check, then
+    // verify the whole meta page at its declared size.
+    std::byte peek[kPageHeaderBytes + sizeof(SegmentFileMeta)];
+    if (::pread(fd_, peek, sizeof(peek), 0) !=
+        static_cast<ssize_t>(sizeof(peek))) {
+      return Fail("file too short for a meta page");
+    }
+    const auto meta = LoadAs<SegmentFileMeta>(peek + kPageHeaderBytes);
+    if (meta.magic != kSegmentFileMagic) return Fail("bad magic");
+    if (meta.format_version != kPageFormatVersion) {
+      return Fail("unsupported format version");
+    }
+    if (meta.page_bytes < kMinPageBytes || meta.page_bytes > (1u << 26)) {
+      return Fail("implausible page size");
+    }
+    if (meta.key_bytes != sizeof(K) ||
+        meta.leaf_entry_bytes != sizeof(LeafEntry<K>)) {
+      return Fail("key type mismatch");
+    }
+    if (meta.leaf_capacity != LeafCapacity<K>(meta.page_bytes) ||
+        meta.segment_capacity != SegmentCapacity<K>(meta.page_bytes)) {
+      return Fail("capacity mismatch");
+    }
+    // The record counts must agree with the page counts: a CRC only proves
+    // integrity, not that the header fields are in range, and everything
+    // downstream (reserve sizes, per-page loops) trusts these bounds.
+    const auto pages_for = [](uint64_t records, uint64_t capacity) {
+      return (records + capacity - 1) / capacity;
+    };
+    if (pages_for(meta.segment_count, meta.segment_capacity) !=
+            meta.segment_page_count ||
+        pages_for(meta.key_count, meta.leaf_capacity) !=
+            meta.leaf_page_count) {
+      return Fail("record counts disagree with page counts");
+    }
+
+    std::vector<std::byte> page(meta.page_bytes);
+    if (::pread(fd_, page.data(), page.size(), 0) !=
+        static_cast<ssize_t>(page.size())) {
+      return Fail("meta page read failed");
+    }
+    if (!VerifyPage(page.data(), page.size(), PageType::kMeta, 0)) {
+      return Fail("meta page checksum mismatch");
+    }
+    meta_ = meta;
+
+    struct stat st {};
+    if (::fstat(fd_, &st) != 0) return Fail("fstat() failed");
+    const uint64_t expected_pages =
+        1 + meta_.segment_page_count + meta_.leaf_page_count;
+    if (static_cast<uint64_t>(st.st_size) !=
+        expected_pages * meta_.page_bytes) {
+      return Fail("file size disagrees with meta page counts");
+    }
+    return true;
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    meta_ = SegmentFileMeta{};
+  }
+
+  bool is_open() const { return fd_ >= 0; }
+  const SegmentFileMeta& meta() const { return meta_; }
+  const std::string& error_message() const { return error_; }
+  size_t page_bytes() const { return meta_.page_bytes; }
+  uint64_t page_count() const {
+    return 1 + meta_.segment_page_count + meta_.leaf_page_count;
+  }
+
+  // File-global page id of the `leaf_index`-th leaf page.
+  uint32_t LeafPageId(uint64_t leaf_index) const {
+    return static_cast<uint32_t>(1 + meta_.segment_page_count + leaf_index);
+  }
+
+  bool ReadPageInto(uint32_t page_id, std::byte* out) override {
+    if (fd_ < 0 || page_id >= page_count()) return false;
+    const ssize_t n = ::pread(fd_, out, meta_.page_bytes,
+                              static_cast<off_t>(page_id) *
+                                  static_cast<off_t>(meta_.page_bytes));
+    if (n != static_cast<ssize_t>(meta_.page_bytes)) return false;
+    return VerifyPage(out, meta_.page_bytes, ExpectedType(page_id), page_id);
+  }
+
+  // Reads and validates the whole segment table (it lives in memory in the
+  // paper's design; only leaves stay disk-resident).
+  bool ReadSegmentTable(std::vector<PackedSegment<K>>* out) {
+    out->clear();
+    out->reserve(meta_.segment_count);
+    std::vector<std::byte> page(meta_.page_bytes);
+    for (uint64_t p = 0; p < meta_.segment_page_count; ++p) {
+      const uint32_t page_id = static_cast<uint32_t>(1 + p);
+      if (!ReadPageInto(page_id, page.data())) return false;
+      const PageHeader h = LoadAs<PageHeader>(page.data());
+      // count is attacker-controlled until checked: reading past
+      // segment_capacity records would run off the page buffer.
+      if (h.count > meta_.segment_capacity) return false;
+      for (uint32_t i = 0; i < h.count; ++i) {
+        out->push_back(LoadAs<PackedSegment<K>>(
+            page.data() + kPageHeaderBytes + i * sizeof(PackedSegment<K>)));
+      }
+    }
+    return out->size() == meta_.segment_count;
+  }
+
+ private:
+  PageType ExpectedType(uint32_t page_id) const {
+    if (page_id == 0) return PageType::kMeta;
+    if (page_id <= meta_.segment_page_count) return PageType::kSegmentTable;
+    return PageType::kLeaf;
+  }
+
+  bool Fail(const char* why) {
+    error_ = why;
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+
+  int fd_ = -1;
+  SegmentFileMeta meta_{};
+  std::string error_;
+};
+
+}  // namespace fitree::storage
+
+#endif  // FITREE_STORAGE_SEGMENT_FILE_H_

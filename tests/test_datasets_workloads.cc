@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <map>
+#include <random>
 #include <set>
 #include <vector>
 
@@ -100,6 +102,68 @@ TEST(Workloads, InsertsAreAbsentFromBase) {
     EXPECT_GT(key, keys.front());
     EXPECT_LT(key, keys.back());
   }
+}
+
+TEST(Workloads, AbsentKeyHandlesDegenerateKeySets) {
+  std::mt19937_64 rng(1);
+  // One key: no gaps exist, and keys.size() - 1 == 0 used to be a modulo
+  // by zero; the lone key comes back instead.
+  const std::vector<int64_t> one{42};
+  for (int t = 0; t < 16; ++t) {
+    EXPECT_EQ(fitree::workloads::detail::AbsentKey(one, rng), 42);
+  }
+  EXPECT_EQ(fitree::workloads::detail::AbsentKey<int64_t>({}, rng), 0);
+  // Fully dense pair: no room strictly between, falls back to a member.
+  const std::vector<int64_t> dense{10, 11};
+  for (int t = 0; t < 16; ++t) {
+    const int64_t key = fitree::workloads::detail::AbsentKey(dense, rng);
+    EXPECT_TRUE(key == 10 || key == 11);
+  }
+}
+
+TEST(Workloads, SingleKeyProbeAndInsertStreams) {
+  const std::vector<int64_t> one{42};
+  const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
+      one, 100, fitree::workloads::Access::kUniform, /*absent_fraction=*/0.5,
+      8);
+  ASSERT_EQ(probes.size(), 100u);
+  for (const int64_t probe : probes) EXPECT_EQ(probe, 42);
+  EXPECT_TRUE(fitree::workloads::MakeInserts<int64_t>(one, 10, 9).empty());
+}
+
+TEST(Workloads, ZipfianProbesAreSkewedMembersAndDeterministic) {
+  const auto keys = fitree::datasets::Weblogs(1000, 11);
+  const std::set<int64_t> present(keys.begin(), keys.end());
+  const size_t count = 100000;
+  const auto zipf = fitree::workloads::MakeLookupProbes<int64_t>(
+      keys, count, fitree::workloads::Access::kZipfian, 0.0, 12);
+  ASSERT_EQ(zipf.size(), count);
+  std::map<int64_t, size_t> freq;
+  for (const int64_t probe : zipf) {
+    ASSERT_EQ(present.count(probe), 1u);
+    ++freq[probe];
+  }
+  size_t max_freq = 0;
+  for (const auto& [key, f] : freq) max_freq = std::max(max_freq, f);
+
+  const auto uniform = fitree::workloads::MakeLookupProbes<int64_t>(
+      keys, count, fitree::workloads::Access::kUniform, 0.0, 12);
+  std::map<int64_t, size_t> uniform_freq;
+  for (const int64_t probe : uniform) ++uniform_freq[probe];
+  size_t uniform_max = 0;
+  for (const auto& [key, f] : uniform_freq) {
+    uniform_max = std::max(uniform_max, f);
+  }
+
+  // Zipf(0.99) over 1000 keys puts ~13% of traffic on the hottest key;
+  // uniform's hottest key stays near count / 1000.
+  EXPECT_GT(max_freq, count / 20);
+  EXPECT_LT(uniform_max, count / 100);
+  EXPECT_GT(max_freq, 10 * uniform_max);
+
+  EXPECT_EQ(zipf, fitree::workloads::MakeLookupProbes<int64_t>(
+                      keys, count, fitree::workloads::Access::kZipfian, 0.0,
+                      12));
 }
 
 TEST(Workloads, RangeQueriesHitTargetSelectivity) {

@@ -1,0 +1,374 @@
+// storage/ unit tests: page seal/verify + checksum rejection, buffer-pool
+// hit/miss/eviction/pinning semantics, and segment-file write/reopen
+// round-trips down to the raw page level.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/io_stats.h"
+#include "core/static_fiting_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/segment_file.h"
+
+namespace {
+
+using fitree::IoStats;
+using fitree::PackedSegment;
+using fitree::StaticFitingTree;
+using fitree::storage::BufferPool;
+using fitree::storage::kPageHeaderBytes;
+using fitree::storage::LeafCapacity;
+using fitree::storage::LeafEntry;
+using fitree::storage::LoadAs;
+using fitree::storage::MakeFixedSegments;
+using fitree::storage::PageHeader;
+using fitree::storage::PageSource;
+using fitree::storage::PageType;
+using fitree::storage::PinnedPage;
+using fitree::storage::SealPage;
+using fitree::storage::SegmentFileOptions;
+using fitree::storage::SegmentFileReader;
+using fitree::storage::VerifyPage;
+
+constexpr size_t kPageBytes = 256;  // small pages force multi-page files
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<int64_t> EveryThird(size_t n) {
+  std::vector<int64_t> keys;
+  for (size_t i = 0; i < n; ++i) keys.push_back(static_cast<int64_t>(3 * i));
+  return keys;
+}
+
+TEST(Page, SealThenVerifyRoundTrips) {
+  std::vector<std::byte> page(kPageBytes, std::byte{0});
+  page[kPageHeaderBytes] = std::byte{42};
+  SealPage(page.data(), kPageBytes, PageType::kLeaf, 7, 3);
+  PageHeader header{};
+  ASSERT_TRUE(
+      VerifyPage(page.data(), kPageBytes, PageType::kLeaf, 7, &header));
+  EXPECT_EQ(header.page_id, 7u);
+  EXPECT_EQ(header.count, 3u);
+  EXPECT_EQ(header.type, static_cast<uint16_t>(PageType::kLeaf));
+}
+
+TEST(Page, AnySingleByteFlipIsDetected) {
+  std::vector<std::byte> page(kPageBytes, std::byte{0});
+  for (size_t i = 0; i < kPageBytes; i += 17) {
+    page[kPageHeaderBytes + (i % (kPageBytes - kPageHeaderBytes))] =
+        std::byte{static_cast<unsigned char>(i)};
+  }
+  SealPage(page.data(), kPageBytes, PageType::kLeaf, 1, 5);
+  for (size_t i = 0; i < kPageBytes; ++i) {
+    std::vector<std::byte> corrupt = page;
+    corrupt[i] ^= std::byte{0x40};
+    EXPECT_FALSE(VerifyPage(corrupt.data(), kPageBytes, PageType::kLeaf, 1))
+        << "flip at byte " << i << " went undetected";
+  }
+}
+
+TEST(Page, WrongTypeOrIdIsRejected) {
+  std::vector<std::byte> page(kPageBytes, std::byte{0});
+  SealPage(page.data(), kPageBytes, PageType::kSegmentTable, 4, 1);
+  EXPECT_TRUE(VerifyPage(page.data(), kPageBytes, PageType::kSegmentTable, 4));
+  EXPECT_FALSE(VerifyPage(page.data(), kPageBytes, PageType::kLeaf, 4));
+  EXPECT_FALSE(VerifyPage(page.data(), kPageBytes, PageType::kSegmentTable, 5));
+}
+
+// In-memory page source: page i is a sealed leaf page whose first record
+// byte is i. Counts physical reads and can be told to fail specific pages.
+class FakeSource : public PageSource {
+ public:
+  explicit FakeSource(size_t pages) {
+    for (size_t i = 0; i < pages; ++i) {
+      std::vector<std::byte> page(kPageBytes, std::byte{0});
+      page[kPageHeaderBytes] = std::byte{static_cast<unsigned char>(i)};
+      SealPage(page.data(), kPageBytes, PageType::kLeaf,
+               static_cast<uint32_t>(i), 1);
+      pages_.push_back(std::move(page));
+    }
+  }
+
+  bool ReadPageInto(uint32_t page_id, std::byte* out) override {
+    if (page_id >= pages_.size() || failing_.count(page_id) != 0) return false;
+    ++reads_;
+    std::copy(pages_[page_id].begin(), pages_[page_id].end(), out);
+    return true;
+  }
+
+  void FailPage(uint32_t page_id) { failing_.insert(page_id); }
+  size_t reads() const { return reads_; }
+
+ private:
+  std::vector<std::vector<std::byte>> pages_;
+  std::set<uint32_t> failing_;
+  size_t reads_ = 0;
+};
+
+TEST(BufferPool, CountsHitsAndMisses) {
+  FakeSource source(4);
+  BufferPool pool(&source, kPageBytes, 2);
+  for (const uint32_t id : {0u, 1u, 0u, 1u, 0u}) {
+    const std::byte* page = pool.Fetch(id);
+    ASSERT_NE(page, nullptr);
+    EXPECT_EQ(LoadAs<unsigned char>(page + kPageHeaderBytes), id);
+    pool.Unpin(id);
+  }
+  EXPECT_EQ(pool.stats().cache_misses, 2u);
+  EXPECT_EQ(pool.stats().cache_hits, 3u);
+  EXPECT_EQ(pool.stats().pages_read, 2u);
+  EXPECT_EQ(pool.stats().bytes_read, 2u * kPageBytes);
+  EXPECT_DOUBLE_EQ(pool.stats().HitRate(), 3.0 / 5.0);
+}
+
+TEST(BufferPool, EvictsWhenCacheSmallerThanFile) {
+  FakeSource source(8);
+  BufferPool pool(&source, kPageBytes, 2);
+  // Two sequential sweeps over 8 pages through 2 frames: nothing survives
+  // to the second sweep, so every access is a miss and a physical read.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (uint32_t id = 0; id < 8; ++id) {
+      const std::byte* page = pool.Fetch(id);
+      ASSERT_NE(page, nullptr);
+      EXPECT_EQ(LoadAs<unsigned char>(page + kPageHeaderBytes), id);
+      pool.Unpin(id);
+    }
+  }
+  EXPECT_EQ(pool.stats().cache_misses, 16u);
+  EXPECT_EQ(pool.stats().cache_hits, 0u);
+  EXPECT_EQ(source.reads(), 16u);
+  // At most `frames` pages are ever resident.
+  size_t resident = 0;
+  for (uint32_t id = 0; id < 8; ++id) resident += pool.Contains(id) ? 1 : 0;
+  EXPECT_EQ(resident, 2u);
+}
+
+TEST(BufferPool, ClockGivesReusedPagesASecondChance) {
+  FakeSource source(8);
+  BufferPool pool(&source, kPageBytes, 3);
+  const auto touch = [&](uint32_t id) {
+    ASSERT_NE(pool.Fetch(id), nullptr);
+    pool.Unpin(id);
+  };
+  // Page 0 is re-referenced between sweeps of {1,2,3}; its reference bit
+  // keeps it resident while 1..3 rotate through the other two frames.
+  touch(0);
+  for (const uint32_t id : {1u, 2u, 0u, 3u, 1u, 0u, 2u, 3u, 0u}) touch(id);
+  EXPECT_TRUE(pool.Contains(0));
+  const IoStats stats = pool.stats();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 10u);
+  // Page 0 was read exactly once; every hit after that was served in-pool.
+  EXPECT_GE(stats.cache_hits, 3u);
+}
+
+TEST(BufferPool, PinnedPagesAreNeverEvicted) {
+  FakeSource source(16);
+  BufferPool pool(&source, kPageBytes, 2);
+  const std::byte* pinned = pool.Fetch(0);
+  ASSERT_NE(pinned, nullptr);
+  for (uint32_t id = 1; id < 16; ++id) {
+    const std::byte* page = pool.Fetch(id);
+    ASSERT_NE(page, nullptr);
+    pool.Unpin(id);
+  }
+  EXPECT_TRUE(pool.Contains(0));
+  EXPECT_EQ(LoadAs<unsigned char>(pinned + kPageHeaderBytes), 0u);
+  pool.Unpin(0);
+}
+
+TEST(BufferPool, AllFramesPinnedFailsCleanly) {
+  FakeSource source(4);
+  BufferPool pool(&source, kPageBytes, 2);
+  ASSERT_NE(pool.Fetch(0), nullptr);
+  ASSERT_NE(pool.Fetch(1), nullptr);
+  EXPECT_EQ(pool.Fetch(2), nullptr);  // no evictable frame
+  pool.Unpin(1);
+  EXPECT_NE(pool.Fetch(2), nullptr);  // frame freed, fetch succeeds
+  pool.Unpin(2);
+  pool.Unpin(0);
+}
+
+TEST(BufferPool, FailedReadReturnsNullAndStaysUncached) {
+  FakeSource source(4);
+  source.FailPage(2);
+  BufferPool pool(&source, kPageBytes, 2);
+  EXPECT_EQ(pool.Fetch(2), nullptr);
+  EXPECT_FALSE(pool.Contains(2));
+  EXPECT_EQ(pool.stats().cache_misses, 1u);
+  EXPECT_EQ(pool.stats().pages_read, 0u);
+  // The pool still works for healthy pages afterwards.
+  ASSERT_NE(pool.Fetch(1), nullptr);
+  pool.Unpin(1);
+}
+
+TEST(SegmentFile, WriteReopenRoundTripsMetaAndSegments) {
+  const auto keys = EveryThird(1000);
+  const auto tree = StaticFitingTree<int64_t>::Create(keys, 8.0);
+  const auto exported = tree->ExportSegmentTable();
+  const std::string path = TempPath("roundtrip.fit");
+  ASSERT_TRUE(fitree::storage::WriteIndexFile(path, *tree,
+                                              SegmentFileOptions{kPageBytes}));
+
+  SegmentFileReader<int64_t> reader;
+  ASSERT_TRUE(reader.Open(path)) << reader.error_message();
+  EXPECT_EQ(reader.meta().key_count, keys.size());
+  EXPECT_EQ(reader.meta().segment_count, exported.size());
+  EXPECT_EQ(reader.meta().page_bytes, kPageBytes);
+  EXPECT_DOUBLE_EQ(reader.meta().error, 8.0);
+
+  std::vector<PackedSegment<int64_t>> reloaded;
+  ASSERT_TRUE(reader.ReadSegmentTable(&reloaded));
+  EXPECT_EQ(reloaded, exported);
+  std::remove(path.c_str());
+}
+
+TEST(SegmentFile, LeafPagesHoldEveryKeyInRankOrder) {
+  const auto keys = EveryThird(500);
+  const auto tree = StaticFitingTree<int64_t>::Create(keys, 4.0);
+  const std::string path = TempPath("leaves.fit");
+  ASSERT_TRUE(fitree::storage::WriteIndexFile(path, *tree,
+                                              SegmentFileOptions{kPageBytes}));
+  SegmentFileReader<int64_t> reader;
+  ASSERT_TRUE(reader.Open(path));
+  const size_t cap = reader.meta().leaf_capacity;
+  EXPECT_EQ(cap, LeafCapacity<int64_t>(kPageBytes));
+  ASSERT_GT(reader.meta().leaf_page_count, 1u);  // multi-page file
+
+  std::vector<std::byte> page(kPageBytes);
+  size_t rank = 0;
+  for (uint64_t leaf = 0; leaf < reader.meta().leaf_page_count; ++leaf) {
+    ASSERT_TRUE(reader.ReadPageInto(reader.LeafPageId(leaf), page.data()));
+    const PageHeader header = LoadAs<PageHeader>(page.data());
+    for (uint32_t slot = 0; slot < header.count; ++slot, ++rank) {
+      const auto entry = LoadAs<LeafEntry<int64_t>>(
+          page.data() + kPageHeaderBytes + slot * sizeof(LeafEntry<int64_t>));
+      EXPECT_EQ(entry.key, keys[rank]);
+      EXPECT_EQ(entry.value, rank);  // WriteIndexFile payload is the rank
+    }
+  }
+  EXPECT_EQ(rank, keys.size());
+  std::remove(path.c_str());
+}
+
+TEST(SegmentFile, CustomPayloadsRoundTrip) {
+  const auto keys = EveryThird(300);
+  std::vector<uint64_t> values;
+  for (const int64_t k : keys) {
+    values.push_back(static_cast<uint64_t>(7 * k + 1));
+  }
+  const auto segments =
+      MakeFixedSegments(std::span<const int64_t>(keys), 32);
+  const std::string path = TempPath("payloads.fit");
+  ASSERT_TRUE(fitree::storage::WriteSegmentFile<int64_t>(
+      path, keys, values, segments, /*error=*/32.0,
+      SegmentFileOptions{kPageBytes}));
+  SegmentFileReader<int64_t> reader;
+  ASSERT_TRUE(reader.Open(path));
+  std::vector<std::byte> page(kPageBytes);
+  ASSERT_TRUE(reader.ReadPageInto(reader.LeafPageId(0), page.data()));
+  const auto entry = LoadAs<LeafEntry<int64_t>>(page.data() + kPageHeaderBytes);
+  EXPECT_EQ(entry.key, keys[0]);
+  EXPECT_EQ(entry.value, values[0]);
+  std::remove(path.c_str());
+}
+
+TEST(SegmentFile, CorruptedPageIsRejectedByReaderAndPool) {
+  const auto keys = EveryThird(600);
+  const auto tree = StaticFitingTree<int64_t>::Create(keys, 8.0);
+  const std::string path = TempPath("corrupt.fit");
+  ASSERT_TRUE(fitree::storage::WriteIndexFile(path, *tree,
+                                              SegmentFileOptions{kPageBytes}));
+
+  SegmentFileReader<int64_t> reader;
+  ASSERT_TRUE(reader.Open(path));
+  const uint32_t victim = reader.LeafPageId(1);
+  reader.Close();
+
+  // Flip one payload byte in the middle of that leaf page on disk.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  const long offset =
+      static_cast<long>(victim) * kPageBytes + kPageBytes / 2;
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(byte ^ 0x01, f);
+  std::fclose(f);
+
+  ASSERT_TRUE(reader.Open(path));  // meta page is intact
+  std::vector<std::byte> page(kPageBytes);
+  EXPECT_TRUE(reader.ReadPageInto(reader.LeafPageId(0), page.data()));
+  EXPECT_FALSE(reader.ReadPageInto(victim, page.data()));
+
+  BufferPool pool(&reader, kPageBytes, 4);
+  EXPECT_NE(pool.Fetch(reader.LeafPageId(0)), nullptr);
+  pool.Unpin(reader.LeafPageId(0));
+  EXPECT_EQ(pool.Fetch(victim), nullptr);
+  EXPECT_FALSE(pool.Contains(victim));
+  std::remove(path.c_str());
+}
+
+TEST(SegmentFile, CorruptedMetaFailsOpen) {
+  const auto keys = EveryThird(100);
+  const auto tree = StaticFitingTree<int64_t>::Create(keys, 8.0);
+  const std::string path = TempPath("badmeta.fit");
+  ASSERT_TRUE(fitree::storage::WriteIndexFile(path, *tree,
+                                              SegmentFileOptions{kPageBytes}));
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, kPageHeaderBytes, SEEK_SET), 0);  // magic field
+  std::fputc('X', f);
+  std::fclose(f);
+  SegmentFileReader<int64_t> reader;
+  EXPECT_FALSE(reader.Open(path));
+  std::remove(path.c_str());
+}
+
+TEST(SegmentFile, OpenRejectsMissingAndTruncatedFiles) {
+  SegmentFileReader<int64_t> reader;
+  EXPECT_FALSE(reader.Open(TempPath("does_not_exist.fit")));
+
+  const std::string path = TempPath("truncated.fit");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("short", f);
+  std::fclose(f);
+  EXPECT_FALSE(reader.Open(path));
+  std::remove(path.c_str());
+}
+
+TEST(SegmentFile, WriterRejectsNonPartitioningSegments) {
+  const auto keys = EveryThird(100);
+  auto segments = MakeFixedSegments(std::span<const int64_t>(keys), 16);
+  segments.back().length -= 1;  // no longer covers every key
+  EXPECT_FALSE(fitree::storage::WriteSegmentFile<int64_t>(
+      TempPath("badsegs.fit"), keys, {}, segments, 16.0,
+      SegmentFileOptions{kPageBytes}));
+}
+
+TEST(SegmentFile, MakeFixedSegmentsPartitionsKeys) {
+  const auto keys = EveryThird(103);  // deliberately not a multiple
+  const auto segments = MakeFixedSegments(std::span<const int64_t>(keys), 16);
+  ASSERT_EQ(segments.size(), 7u);
+  uint64_t covered = 0;
+  for (const auto& s : segments) {
+    EXPECT_EQ(s.start, covered);
+    EXPECT_EQ(s.first_key, keys[covered]);
+    EXPECT_DOUBLE_EQ(s.Predict(keys[covered]), static_cast<double>(covered));
+    covered += s.length;
+  }
+  EXPECT_EQ(covered, keys.size());
+}
+
+}  // namespace

@@ -6,8 +6,10 @@
 #define FITREE_WORKLOADS_WORKLOADS_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <random>
 #include <vector>
 
@@ -15,6 +17,7 @@ namespace fitree::workloads {
 
 enum class Access {
   kUniform,  // probes drawn uniformly over the key set
+  kZipfian,  // Zipf(theta=0.99) popularity, hot keys scattered over the set
 };
 
 template <typename K>
@@ -30,6 +33,9 @@ namespace detail {
 // dense ranges).
 template <typename K>
 K AbsentKey(const std::vector<K>& keys, std::mt19937_64& rng) {
+  // A single key has no gaps to draw from (and keys.size() - 1 == 0 would
+  // be a modulo by zero below); fall back to the lone key.
+  if (keys.size() < 2) return keys.empty() ? K{} : keys.front();
   for (int attempt = 0; attempt < 64; ++attempt) {
     const size_t i = rng() % (keys.size() - 1);
     const K gap = keys[i + 1] - keys[i];
@@ -40,25 +46,82 @@ K AbsentKey(const std::vector<K>& keys, std::mt19937_64& rng) {
   return keys[rng() % keys.size()];
 }
 
+// YCSB-style Zipfian rank sampler over [0, n): O(n) zeta precomputation,
+// constant time per draw. Ranks are scattered across the key set with a
+// splitmix64 finalizer so the hot set is not one contiguous key prefix
+// (and hence not one contiguous run of leaf pages) — the standard trick
+// for exercising caches with realistic skew.
+class ZipfianRanks {
+ public:
+  explicit ZipfianRanks(size_t n, double theta = 0.99)
+      : n_(n == 0 ? 1 : n), theta_(theta) {
+    for (size_t i = 1; i <= n_; ++i) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+    }
+    const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  size_t Next(std::mt19937_64& rng) {
+    std::uniform_real_distribution<double> unif(0.0, 1.0);
+    const double u = unif(rng);
+    const double uz = u * zetan_;
+    size_t rank;
+    if (uz < 1.0) {
+      rank = 0;
+    } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+      rank = 1;
+    } else {
+      rank = static_cast<size_t>(
+          static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    }
+    if (rank >= n_) rank = n_ - 1;
+    return Scatter(rank) % n_;
+  }
+
+ private:
+  static uint64_t Scatter(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  size_t n_;
+  double theta_;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
 }  // namespace detail
 
 // `count` point-lookup probes over `keys` (sorted). An `absent_fraction` of
-// them miss: they fall strictly inside gaps of the key set.
+// them miss: they fall strictly inside gaps of the key set. Present probes
+// are drawn per `access`: uniform, or Zipfian-skewed so a small hot set
+// dominates (what cache-sensitive disk benches need to show hit-rate
+// effects).
 template <typename K>
 std::vector<K> MakeLookupProbes(const std::vector<K>& keys, size_t count,
-                                Access /*access*/, double absent_fraction,
+                                Access access, double absent_fraction,
                                 uint64_t seed) {
   std::vector<K> probes;
   probes.reserve(count);
   if (keys.empty()) return probes;
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::optional<detail::ZipfianRanks> zipf;
+  if (access == Access::kZipfian) zipf.emplace(keys.size());
   for (size_t i = 0; i < count; ++i) {
     if (keys.size() > 1 && absent_fraction > 0.0 &&
         unif(rng) < absent_fraction) {
       probes.push_back(detail::AbsentKey(keys, rng));
     } else {
-      probes.push_back(keys[rng() % keys.size()]);
+      const size_t index =
+          zipf.has_value() ? zipf->Next(rng) : rng() % keys.size();
+      probes.push_back(keys[index]);
     }
   }
   return probes;
