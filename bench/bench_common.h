@@ -8,6 +8,7 @@
 #ifndef FITREE_BENCH_BENCH_COMMON_H_
 #define FITREE_BENCH_BENCH_COMMON_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -25,10 +26,12 @@ inline size_t ScaledN(size_t base) {
   return base * static_cast<size_t>(scale < 1 ? 1 : scale);
 }
 
-// Defeats dead-code elimination of measured loops.
+// Defeats dead-code elimination of measured loops. Atomic because worker
+// threads publish their sinks concurrently (relaxed: ordering is
+// irrelevant, the store just has to survive into the binary).
 inline void SinkValue(uint64_t v) {
-  static volatile uint64_t g_sink = 0;
-  g_sink = g_sink + v;
+  static std::atomic<uint64_t> g_sink{0};
+  g_sink.fetch_add(v, std::memory_order_relaxed);
 }
 
 // Measures the average latency of `body(i)` over `ops` calls, in ns/op.

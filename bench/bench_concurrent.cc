@@ -1,0 +1,291 @@
+// Multi-threaded YCSB-style benchmark for the concurrent FITing-Tree
+// (concurrency/concurrent_fiting_tree.h).
+//
+// Sweep: workload mix (A 50r/50i, B 95r/5i, C 100r, E 95scan/5i) ×
+// access skew (uniform, Zipfian theta=0.99) × thread count (powers of two
+// up to FITREE_BENCH_MAX_THREADS). Each cell runs three structures:
+//   concurrent — epoch-protected reads, per-segment insert latches
+//   mutex      — the same FitingTree behind one std::mutex
+//   single     — plain FitingTree, 1 thread only (the no-sync floor)
+// and reports aggregate Mops/s plus sampled p50/p99 op latency.
+//
+// Every run is validated against a std::set reference built from the same
+// per-thread operation logs: final size must match, membership must agree
+// on a probe sample, and quiesced range scans must return exactly the
+// reference contents. Thread t's stream is seeded ThreadSeed(base, t)
+// (workloads/workloads.h), so runs are reproducible op-for-op.
+//
+// Env knobs (see EXPERIMENTS.md): FITREE_BENCH_SCALE scales sizes,
+// FITREE_BENCH_MAX_THREADS caps the sweep (default 8),
+// FITREE_BENCH_BG_MERGE=1 routes merges to the background worker.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/env.h"
+#include "common/table_printer.h"
+#include "concurrency/concurrent_fiting_tree.h"
+#include "concurrency/mutex_fiting_tree.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using fitree::ConcurrentFitingTree;
+using fitree::ConcurrentFitingTreeConfig;
+using fitree::FitingTree;
+using fitree::FitingTreeConfig;
+using fitree::MutexFitingTree;
+using fitree::TablePrinter;
+using fitree::Timer;
+using fitree::workloads::Access;
+using fitree::workloads::Op;
+using fitree::workloads::OpMix;
+using fitree::workloads::OpType;
+
+using Key = int64_t;
+using Streams = std::vector<std::vector<Op<Key>>>;
+
+constexpr uint64_t kBaseSeed = 0xF17EE5EEDull;
+constexpr double kScanSelectivity = 0.0001;
+constexpr int kLatencySampleEvery = 16;
+
+struct Mix {
+  const char* name;
+  OpMix mix;
+};
+
+struct RunResult {
+  double mops = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+// Drives `streams[t]` on thread t against `index`, timing the whole run for
+// aggregate throughput and sampling every kLatencySampleEvery-th op for the
+// latency percentiles. Returns per-op latency samples merged across
+// threads.
+template <typename Index>
+RunResult DriveThreads(Index& index, const Streams& streams) {
+  const int threads = static_cast<int>(streams.size());
+  std::vector<std::vector<int64_t>> samples(streams.size());
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(streams.size());
+  Timer wall;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::vector<Op<Key>>& ops = streams[static_cast<size_t>(t)];
+      std::vector<int64_t>& lat = samples[static_cast<size_t>(t)];
+      lat.reserve(ops.size() / kLatencySampleEvery + 1);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      uint64_t sink = 0;
+      Timer op_timer;
+      for (size_t i = 0; i < ops.size(); ++i) {
+        const Op<Key>& op = ops[i];
+        // Only sampled ops pay for clock reads; a timer on every op would
+        // add a fixed ~20-30 ns to sub-200 ns operations.
+        const bool sampled = i % kLatencySampleEvery == 0;
+        if (sampled) op_timer.Reset();
+        switch (op.type) {
+          case OpType::kRead:
+            sink += index.Contains(op.key) ? 1 : 0;
+            break;
+          case OpType::kInsert:
+            index.Insert(op.key);
+            break;
+          case OpType::kScan: {
+            uint64_t acc = 0;
+            index.ScanRange(op.key, op.hi, [&](Key k) {
+              acc += static_cast<uint64_t>(k);
+            });
+            sink += acc;
+            break;
+          }
+        }
+        if (sampled) lat.push_back(op_timer.ElapsedNs());
+      }
+      fitree::bench::SinkValue(sink);
+    });
+  }
+  while (ready.load() < threads) std::this_thread::yield();
+  wall.Reset();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double seconds = wall.ElapsedSeconds();
+
+  size_t total_ops = 0;
+  for (const auto& s : streams) total_ops += s.size();
+  std::vector<int64_t> merged;
+  for (auto& s : samples) {
+    merged.insert(merged.end(), s.begin(), s.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  RunResult r;
+  r.mops = static_cast<double>(total_ops) / seconds / 1e6;
+  if (!merged.empty()) {
+    r.p50_ns = static_cast<double>(merged[merged.size() / 2]);
+    r.p99_ns = static_cast<double>(merged[merged.size() * 99 / 100]);
+  }
+  return r;
+}
+
+// Reference final state: base keys plus every insert in the op log (set
+// semantics make the result schedule-independent).
+std::set<Key> ReferenceSet(const std::vector<Key>& keys,
+                           const Streams& streams) {
+  std::set<Key> ref(keys.begin(), keys.end());
+  for (const auto& stream : streams) {
+    for (const Op<Key>& op : stream) {
+      if (op.type == OpType::kInsert) ref.insert(op.key);
+    }
+  }
+  return ref;
+}
+
+// Post-run validation of a quiesced index against the reference set:
+// size, membership on a mixed present/absent probe sample, and exact
+// range-scan contents. Any mismatch aborts the benchmark.
+template <typename Index>
+void Validate(Index& index, const std::set<Key>& ref, const char* label) {
+  if (index.size() != ref.size()) {
+    std::fprintf(stderr, "%s: size %zu != reference %zu\n", label,
+                 index.size(), ref.size());
+    std::exit(1);
+  }
+  std::mt19937_64 rng(kBaseSeed ^ 0xABCD);
+  std::vector<Key> ref_keys(ref.begin(), ref.end());
+  for (int i = 0; i < 2000; ++i) {
+    const Key probe = i % 2 == 0
+                          ? ref_keys[rng() % ref_keys.size()]
+                          : static_cast<Key>(rng() % (ref_keys.back() + 2));
+    if (index.Contains(probe) != (ref.count(probe) > 0)) {
+      std::fprintf(stderr, "%s: membership mismatch at key %lld\n", label,
+                   static_cast<long long>(probe));
+      std::exit(1);
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    const size_t start = rng() % ref_keys.size();
+    const size_t end =
+        std::min(ref_keys.size() - 1, start + ref_keys.size() / 100);
+    std::vector<Key> got;
+    index.ScanRange(ref_keys[start], ref_keys[end],
+                    [&](Key k) { got.push_back(k); });
+    const auto lo = ref.lower_bound(ref_keys[start]);
+    const auto hi = ref.upper_bound(ref_keys[end]);
+    if (!std::equal(got.begin(), got.end(), lo, hi)) {
+      std::fprintf(stderr, "%s: range scan mismatch at query %d\n", label, i);
+      std::exit(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  // FITREE_BENCH_N / FITREE_BENCH_OPS override the scaled defaults — the
+  // TSan CI smoke uses them to stay inside sanitizer time budgets.
+  const size_t n = static_cast<size_t>(fitree::GetEnvInt64(
+      "FITREE_BENCH_N",
+      static_cast<int64_t>(fitree::bench::ScaledN(400'000))));
+  const size_t ops_per_thread = static_cast<size_t>(fitree::GetEnvInt64(
+      "FITREE_BENCH_OPS",
+      static_cast<int64_t>(fitree::bench::ScaledN(120'000))));
+  const int max_threads =
+      std::max(1, fitree::GetEnvInt("FITREE_BENCH_MAX_THREADS", 8));
+  const bool bg_merge = fitree::GetEnvInt("FITREE_BENCH_BG_MERGE", 0) != 0;
+  const double error = 128.0;
+
+  const auto keys = fitree::datasets::Weblogs(n, 11);
+  std::printf("bench_concurrent: %zu keys, %zu ops/thread, error=%.0f, "
+              "max_threads=%d, bg_merge=%d, hw_threads=%u\n",
+              keys.size(), ops_per_thread, error, max_threads,
+              static_cast<int>(bg_merge),
+              std::thread::hardware_concurrency());
+
+  const Mix mixes[] = {
+      {"A(50r/50i)", {.read = 0.5, .insert = 0.5, .scan = 0.0}},
+      {"B(95r/5i)", {.read = 0.95, .insert = 0.05, .scan = 0.0}},
+      {"C(100r)", {.read = 1.0, .insert = 0.0, .scan = 0.0}},
+      {"E(95s/5i)", {.read = 0.0, .insert = 0.05, .scan = 0.95}},
+  };
+  const Access accesses[] = {Access::kUniform, Access::kZipfian};
+
+  fitree::bench::PrintHeader(
+      "YCSB sweep: aggregate Mops/s and sampled op latency");
+  TablePrinter table({"mix", "access", "threads", "structure", "Mops",
+                      "p50_ns", "p99_ns", "segments", "merges", "check"});
+
+  for (const Mix& mix : mixes) {
+    for (const Access access : accesses) {
+      for (int threads = 1; threads <= max_threads; threads *= 2) {
+        const auto streams = fitree::workloads::MakeThreadOpStreams<Key>(
+            keys, threads, ops_per_thread, mix.mix, access, kScanSelectivity,
+            kBaseSeed);
+        const std::set<Key> ref = ReferenceSet(keys, streams);
+        const char* access_name =
+            access == Access::kUniform ? "uniform" : "zipfian";
+
+        {
+          ConcurrentFitingTreeConfig config;
+          config.error = error;
+          config.background_merge = bg_merge;
+          auto tree = ConcurrentFitingTree<Key>::Create(keys, config);
+          const RunResult r = DriveThreads(*tree, streams);
+          tree->QuiesceMerges();
+          Validate(*tree, ref, "concurrent");
+          const auto stats = tree->stats();
+          table.AddRow({mix.name, access_name, std::to_string(threads),
+                        "concurrent", TablePrinter::Fmt(r.mops, 3),
+                        TablePrinter::Fmt(r.p50_ns, 0),
+                        TablePrinter::Fmt(r.p99_ns, 0),
+                        std::to_string(tree->SegmentCount()),
+                        TablePrinter::Fmt(stats.segment_merges), "ok"});
+        }
+
+        {
+          FitingTreeConfig config;
+          config.error = error;
+          auto tree = MutexFitingTree<Key>::Create(keys, config);
+          const RunResult r = DriveThreads(*tree, streams);
+          Validate(*tree, ref, "mutex");
+          table.AddRow({mix.name, access_name, std::to_string(threads),
+                        "mutex", TablePrinter::Fmt(r.mops, 3),
+                        TablePrinter::Fmt(r.p50_ns, 0),
+                        TablePrinter::Fmt(r.p99_ns, 0),
+                        std::to_string(tree->SegmentCount()), "-", "ok"});
+        }
+
+        if (threads == 1) {
+          FitingTreeConfig config;
+          config.error = error;
+          auto tree = FitingTree<Key>::Create(keys, config);
+          const RunResult r = DriveThreads(*tree, streams);
+          Validate(*tree, ref, "single");
+          table.AddRow({mix.name, access_name, "1", "single",
+                        TablePrinter::Fmt(r.mops, 3),
+                        TablePrinter::Fmt(r.p50_ns, 0),
+                        TablePrinter::Fmt(r.p99_ns, 0),
+                        std::to_string(tree->SegmentCount()), "-", "ok"});
+        }
+      }
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}

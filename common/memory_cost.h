@@ -44,7 +44,7 @@ inline double MeasureRandomAccessNs(uint64_t working_set_bytes) {
 
   // Publish the cursor so the chase cannot be optimized away.
   static volatile uint32_t g_sink = 0;
-  g_sink = cursor;
+  g_sink = g_sink + cursor;
   return ns / static_cast<double>(hops);
 }
 

@@ -1,0 +1,452 @@
+// Thread-safe FITing-Tree (paper Sec 4.2 index, made concurrent):
+//
+//  - Lookups and scans are lock-free: they run against an immutable
+//    snapshot of the segment directory (a sorted first-key array published
+//    through one atomic pointer) under epoch protection, and against each
+//    segment's immutable key page. The only mutable per-segment state is
+//    the small delta buffer; readers elide its latch with a
+//    sequence-validated "buffer empty" check, so a 100%-read workload
+//    never executes an atomic RMW on shared data and scales linearly.
+//  - Inserts take the target segment's SegLatch, append into its sorted
+//    delta buffer, and release — contention is spread over thousands of
+//    segments, which is the concurrency payoff of the paper's design:
+//    clamped inserts keep every write local to one segment.
+//  - When a buffer overflows, the inserting thread (or the optional
+//    background MergeWorker) marks the segment retired under its latch,
+//    re-runs shrinking-cone segmentation over page+buffer off-latch, and
+//    publishes the replacement segment(s) with a copy-on-write directory
+//    swap. The old directory snapshot and the old segment are handed to
+//    the EpochManager and freed once all in-flight readers quiesce.
+//
+// Writers waiting on a retired segment retry from the freshly published
+// directory; readers never retry — a snapshot stays self-consistent for as
+// long as they hold their epoch guard, which is what makes scans safe
+// against concurrent merges (bundledrefs' versioned-range-scan discipline,
+// specialized to whole-directory snapshots since merges are rare).
+
+#ifndef FITREE_CONCURRENCY_CONCURRENT_FITING_TREE_H_
+#define FITREE_CONCURRENCY_CONCURRENT_FITING_TREE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "concurrency/epoch.h"
+#include "concurrency/merge_worker.h"
+#include "concurrency/seg_latch.h"
+#include "core/search_policy.h"
+#include "core/shrinking_cone.h"
+
+namespace fitree {
+
+struct ConcurrentFitingTreeConfig {
+  // Sentinel: size the buffer as max(1, error/2), the paper's default ratio.
+  static constexpr size_t kAutoBufferSize = static_cast<size_t>(-1);
+
+  double error = 64.0;
+  // Per-segment delta-buffer budget. With a background worker the budget is
+  // soft: buffers keep absorbing inserts while their merge is queued.
+  size_t buffer_size = kAutoBufferSize;
+  SearchPolicy search_policy = SearchPolicy::kBinary;
+  Feasibility feasibility = Feasibility::kEndpointLine;
+  // Off: the inserting thread merges inline. On: overflows are queued to a
+  // MergeWorker thread and inserts return immediately.
+  bool background_merge = false;
+};
+
+struct ConcurrentFitingTreeStats {
+  uint64_t inserts = 0;
+  uint64_t segment_merges = 0;
+  uint64_t segments_created = 0;
+  uint64_t insert_retries = 0;  // landed on a retired segment, rerouted
+};
+
+template <typename K>
+class ConcurrentFitingTree {
+ public:
+  static std::unique_ptr<ConcurrentFitingTree<K>> Create(
+      const std::vector<K>& keys, const ConcurrentFitingTreeConfig& config) {
+    auto tree = std::make_unique<ConcurrentFitingTree<K>>();
+    tree->config_ = config;
+    tree->effective_buffer_ =
+        config.buffer_size == ConcurrentFitingTreeConfig::kAutoBufferSize
+            ? std::max<size_t>(1, static_cast<size_t>(config.error / 2.0))
+            : config.buffer_size;
+    tree->BulkLoad(std::span<const K>(keys));
+    if (config.background_merge) {
+      tree->worker_.Start([t = tree.get()](void* seg) {
+        EpochGuard guard(t->epoch_);
+        t->MergeSegment(static_cast<Segment*>(seg));
+      });
+    }
+    return tree;
+  }
+
+  ConcurrentFitingTree() = default;
+  ConcurrentFitingTree(const ConcurrentFitingTree&) = delete;
+  ConcurrentFitingTree& operator=(const ConcurrentFitingTree&) = delete;
+
+  ~ConcurrentFitingTree() {
+    worker_.Stop();
+    // Single-threaded from here on: free the live snapshot, then drain the
+    // epoch retire list (old snapshots/segments replaced during the run).
+    const Directory* dir = dir_.load(std::memory_order_acquire);
+    if (dir != nullptr) {
+      for (Segment* seg : dir->segments) delete seg;
+      delete dir;
+    }
+    epoch_.DrainAll();
+  }
+
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  bool Contains(const K& key) const {
+    EpochGuard guard(epoch_);
+    const Directory* dir = dir_.load(std::memory_order_seq_cst);
+    const Segment* seg = dir->Floor(key);
+    if (seg == nullptr) return false;
+    return SearchPage(*seg, key) || SearchBuffer(*seg, key);
+  }
+
+  std::optional<K> Find(const K& key) const {
+    return Contains(key) ? std::optional<K>(key) : std::nullopt;
+  }
+
+  // Inserts `key` (set semantics). Lands in the floor segment's delta
+  // buffer under that segment's latch; overflow triggers merge-and-
+  // resegment, inline or via the background worker.
+  void Insert(const K& key) {
+    stats_inserts_.fetch_add(1, std::memory_order_relaxed);
+    EpochGuard guard(epoch_);
+    for (;;) {
+      const Directory* dir = dir_.load(std::memory_order_seq_cst);
+      Segment* seg = dir->Floor(key);
+      if (seg == nullptr) {
+        if (InsertIntoEmpty(key)) return;
+        continue;  // lost the bootstrap race; the directory now has a root
+      }
+      if (SearchPage(*seg, key)) return;  // already present in the page
+      seg->latch.Lock();
+      if (seg->retired.load(std::memory_order_relaxed)) {
+        // A merge replaced this segment after we located it; retry against
+        // the new directory (published before or shortly after retirement).
+        seg->latch.Unlock();
+        stats_retries_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+        continue;
+      }
+      const bool inserted = InsertIntoBufferLocked(seg, key);
+      const bool overflow = seg->buffer.size() > effective_buffer_;
+      seg->latch.Unlock();
+      if (inserted) size_.fetch_add(1, std::memory_order_release);
+      if (overflow) {
+        if (worker_.running()) {
+          if (!seg->merge_pending.exchange(true, std::memory_order_acq_rel)) {
+            worker_.Enqueue(seg);
+          }
+        } else {
+          MergeSegment(seg);
+        }
+      }
+      return;
+    }
+  }
+
+  // Calls fn(key) for every stored key in [lo, hi] in ascending order over
+  // one directory snapshot: segment pages are read in place, delta buffers
+  // are copied out under their latch (they hold at most ~error/2 keys).
+  template <typename Fn>
+  void ScanRange(const K& lo, const K& hi, Fn fn) const {
+    if (hi < lo) return;
+    EpochGuard guard(epoch_);
+    const Directory* dir = dir_.load(std::memory_order_seq_cst);
+    if (dir->segments.empty()) return;
+    std::vector<K> buffer_copy;
+    for (size_t i = dir->FloorIndex(lo); i < dir->segments.size(); ++i) {
+      const Segment* seg = dir->segments[i];
+      if (seg->first_key > hi) break;
+      CopyBuffer(*seg, &buffer_copy);
+      EmitRange(*seg, buffer_copy, lo, hi, fn);
+    }
+  }
+
+  size_t SegmentCount() const {
+    EpochGuard guard(epoch_);
+    return dir_.load(std::memory_order_seq_cst)->segments.size();
+  }
+
+  // Directory arrays plus per-segment model metadata (pages and buffers are
+  // data, not index).
+  size_t IndexSizeBytes() const {
+    EpochGuard guard(epoch_);
+    const Directory* dir = dir_.load(std::memory_order_seq_cst);
+    return dir->segments.size() * (sizeof(K) + sizeof(Segment*)) +
+           dir->segments.size() * kSegmentMetaBytes;
+  }
+
+  ConcurrentFitingTreeStats stats() const {
+    ConcurrentFitingTreeStats s;
+    s.inserts = stats_inserts_.load(std::memory_order_relaxed);
+    s.segment_merges = stats_merges_.load(std::memory_order_relaxed);
+    s.segments_created = stats_created_.load(std::memory_order_relaxed);
+    s.insert_retries = stats_retries_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  const ConcurrentFitingTreeConfig& config() const { return config_; }
+  EpochManager& epoch() { return epoch_; }
+  MergeWorker& merge_worker() { return worker_; }
+
+  // Blocks until queued background merges finish (no-op inline). Tests and
+  // benches call this before validating final contents.
+  void QuiesceMerges() {
+    if (worker_.running()) worker_.WaitIdle();
+  }
+
+ private:
+  struct Segment {
+    K first_key{};
+    double slope = 0.0;
+    double intercept = 0.0;      // predicted in-page rank at first_key
+    std::vector<K> keys;         // immutable once published
+    mutable SegLatch latch;      // guards buffer + retired transition
+    std::atomic<bool> retired{false};
+    std::atomic<bool> merge_pending{false};
+    std::atomic<uint32_t> buffer_count{0};
+    std::vector<K> buffer;       // sorted delta buffer, latch-protected
+
+    double Predict(const K& key) const {
+      return intercept + slope * (static_cast<double>(key) -
+                                  static_cast<double>(first_key));
+    }
+  };
+
+  static constexpr size_t kSegmentMetaBytes =
+      sizeof(K) + 2 * sizeof(double) + sizeof(void*);
+
+  // Immutable snapshot of the segment directory. Merges publish a fresh
+  // copy; the arrays are never mutated after publication.
+  struct Directory {
+    std::vector<K> first_keys;       // sorted
+    std::vector<Segment*> segments;  // parallel to first_keys
+
+    // Index of the floor segment for `key` (clamped to 0 below the first
+    // key, matching the single-threaded tree's floor-else-first rule).
+    size_t FloorIndex(const K& key) const {
+      auto it =
+          std::upper_bound(first_keys.begin(), first_keys.end(), key);
+      return it == first_keys.begin()
+                 ? 0
+                 : static_cast<size_t>(it - first_keys.begin()) - 1;
+    }
+
+    Segment* Floor(const K& key) const {
+      return segments.empty() ? nullptr : segments[FloorIndex(key)];
+    }
+  };
+
+  void BulkLoad(std::span<const K> keys) {
+    auto dir = std::make_unique<Directory>();
+    if (!keys.empty()) {
+      const auto models =
+          SegmentShrinkingCone<K>(keys, config_.error, config_.feasibility);
+      dir->first_keys.reserve(models.size());
+      dir->segments.reserve(models.size());
+      for (const fitree::Segment<K>& m : models) {
+        auto* seg = new Segment();
+        seg->first_key = m.first_key;
+        seg->slope = m.slope;
+        seg->intercept = m.intercept - static_cast<double>(m.start);
+        seg->keys.assign(keys.begin() + m.start,
+                         keys.begin() + m.start + m.length);
+        dir->first_keys.push_back(m.first_key);
+        dir->segments.push_back(seg);
+      }
+    }
+    size_.store(keys.size(), std::memory_order_release);
+    dir_.store(dir.release(), std::memory_order_seq_cst);
+  }
+
+  // Error-bounded search of the immutable page, sharing ErrorWindow with
+  // the single-threaded and disk-resident lookup paths.
+  bool SearchPage(const Segment& seg, const K& key) const {
+    const size_t n = seg.keys.size();
+    if (n == 0) return false;
+    const double pred = seg.Predict(key);
+    // Keys below the leftmost segment (floor fallback) predict far
+    // negative; bail before ErrorWindow's size_t casts.
+    if (pred + config_.error + 2.0 < 0.0) return false;
+    const auto [begin, end] = ErrorWindow(pred, config_.error, 0, n);
+    const size_t hint = static_cast<size_t>(std::max(0.0, pred));
+    const size_t i = detail::BoundedLowerBound(
+        seg.keys.data(), begin, end, hint, key, config_.search_policy);
+    return i < n && seg.keys[i] == key;
+  }
+
+  // Latch-eliding buffer membership test: a sequence-validated empty check
+  // answers the common case without an atomic RMW; otherwise fall back to a
+  // short critical section (the buffer holds at most ~error/2 keys).
+  bool SearchBuffer(const Segment& seg, const K& key) const {
+    const uint32_t seq = seg.latch.ReadSeq();
+    if (seg.buffer_count.load(std::memory_order_acquire) == 0 &&
+        seg.latch.Validate(seq)) {
+      return false;
+    }
+    SegLatch::Scoped lock(seg.latch);
+    return std::binary_search(seg.buffer.begin(), seg.buffer.end(), key);
+  }
+
+  void CopyBuffer(const Segment& seg, std::vector<K>* out) const {
+    out->clear();
+    const uint32_t seq = seg.latch.ReadSeq();
+    if (seg.buffer_count.load(std::memory_order_acquire) == 0 &&
+        seg.latch.Validate(seq)) {
+      return;
+    }
+    SegLatch::Scoped lock(seg.latch);
+    *out = seg.buffer;
+  }
+
+  template <typename Fn>
+  void EmitRange(const Segment& seg, const std::vector<K>& buffer,
+                 const K& lo, const K& hi, Fn& fn) const {
+    auto k = std::lower_bound(seg.keys.begin(), seg.keys.end(), lo);
+    auto b = std::lower_bound(buffer.begin(), buffer.end(), lo);
+    while (k != seg.keys.end() || b != buffer.end()) {
+      const bool take_key =
+          b == buffer.end() || (k != seg.keys.end() && *k <= *b);
+      const K value = take_key ? *k : *b;
+      if (value > hi) return;
+      fn(value);
+      if (take_key) {
+        ++k;
+      } else {
+        ++b;
+      }
+    }
+  }
+
+  // Precondition: latch held, segment live. Returns false on duplicate.
+  bool InsertIntoBufferLocked(Segment* seg, const K& key) {
+    auto pos = std::lower_bound(seg->buffer.begin(), seg->buffer.end(), key);
+    if (pos != seg->buffer.end() && *pos == key) return false;
+    seg->buffer.insert(pos, key);
+    seg->buffer_count.store(static_cast<uint32_t>(seg->buffer.size()),
+                            std::memory_order_release);
+    return true;
+  }
+
+  // First key of an empty tree: build a one-segment directory under the
+  // swap mutex. Returns false when another thread won the race.
+  bool InsertIntoEmpty(const K& key) {
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    const Directory* dir = dir_.load(std::memory_order_seq_cst);
+    if (!dir->segments.empty()) return false;
+    auto* seg = new Segment();
+    seg->first_key = key;
+    seg->keys.push_back(key);
+    auto next = std::make_unique<Directory>();
+    next->first_keys.push_back(key);
+    next->segments.push_back(seg);
+    dir_.store(next.release(), std::memory_order_seq_cst);
+    epoch_.Retire(const_cast<Directory*>(dir));
+    size_.fetch_add(1, std::memory_order_release);
+    return true;
+  }
+
+  // Merge-and-resegment (paper Sec 4.2.2), concurrent edition. The caller
+  // holds an epoch guard and no latch. Steps:
+  //   1. Under the segment latch: bail if already retired (another thread
+  //      merged it) or the buffer shrank below budget; otherwise mark the
+  //      segment retired and snapshot page+buffer merged.
+  //   2. Off-latch: shrinking-cone resegmentation of the merged keys (the
+  //      expensive part; the retired segment is frozen so no insert can
+  //      slip in, and readers continue against the old snapshot).
+  //   3. Under the directory mutex: publish a copy-on-write directory with
+  //      the retired segment's entry replaced by the new segment(s), then
+  //      retire the old directory and old segment through the epoch
+  //      manager.
+  void MergeSegment(Segment* seg) {
+    std::vector<K> merged;
+    {
+      SegLatch::Scoped lock(seg->latch);
+      if (seg->retired.load(std::memory_order_relaxed)) return;
+      if (seg->buffer.empty()) {
+        seg->merge_pending.store(false, std::memory_order_release);
+        return;
+      }
+      seg->retired.store(true, std::memory_order_release);
+      merged.resize(seg->keys.size() + seg->buffer.size());
+      std::merge(seg->keys.begin(), seg->keys.end(), seg->buffer.begin(),
+                 seg->buffer.end(), merged.begin());
+    }
+    stats_merges_.fetch_add(1, std::memory_order_relaxed);
+
+    const auto models = SegmentShrinkingCone<K>(
+        std::span<const K>(merged), config_.error, config_.feasibility);
+    stats_created_.fetch_add(models.size(), std::memory_order_relaxed);
+    std::vector<Segment*> replacements;
+    replacements.reserve(models.size());
+    for (const fitree::Segment<K>& m : models) {
+      auto* out = new Segment();
+      out->first_key = m.first_key;
+      out->slope = m.slope;
+      out->intercept = m.intercept - static_cast<double>(m.start);
+      out->keys.assign(merged.begin() + m.start,
+                       merged.begin() + m.start + m.length);
+      replacements.push_back(out);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(dir_mu_);
+      const Directory* dir = dir_.load(std::memory_order_seq_cst);
+      // The retired segment is still in the live directory: only this
+      // thread retired it, and entries leave the directory only here.
+      size_t idx = dir->FloorIndex(seg->first_key);
+      assert(idx < dir->segments.size() && dir->segments[idx] == seg);
+      auto next = std::make_unique<Directory>();
+      next->first_keys.reserve(dir->first_keys.size() + models.size() - 1);
+      next->segments.reserve(next->first_keys.capacity());
+      for (size_t i = 0; i < idx; ++i) {
+        next->first_keys.push_back(dir->first_keys[i]);
+        next->segments.push_back(dir->segments[i]);
+      }
+      for (Segment* r : replacements) {
+        next->first_keys.push_back(r->first_key);
+        next->segments.push_back(r);
+      }
+      for (size_t i = idx + 1; i < dir->segments.size(); ++i) {
+        next->first_keys.push_back(dir->first_keys[i]);
+        next->segments.push_back(dir->segments[i]);
+      }
+      dir_.store(next.release(), std::memory_order_seq_cst);
+      epoch_.Retire(const_cast<Directory*>(dir));
+    }
+    epoch_.Retire(seg);
+  }
+
+  ConcurrentFitingTreeConfig config_;
+  size_t effective_buffer_ = 0;
+  std::atomic<const Directory*> dir_{nullptr};
+  std::mutex dir_mu_;  // serializes directory publishes (merges are rare)
+  mutable EpochManager epoch_;
+  MergeWorker worker_;
+  std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> stats_inserts_{0};
+  std::atomic<uint64_t> stats_merges_{0};
+  std::atomic<uint64_t> stats_created_{0};
+  std::atomic<uint64_t> stats_retries_{0};
+};
+
+}  // namespace fitree
+
+#endif  // FITREE_CONCURRENCY_CONCURRENT_FITING_TREE_H_

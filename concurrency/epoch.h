@@ -1,0 +1,209 @@
+// Epoch-based memory reclamation for the concurrent FITing-Tree.
+//
+// Readers wrap every operation in an EpochGuard: entering announces the
+// current global epoch in a per-thread slot, exiting marks the slot idle.
+// Writers that unlink a shared object (a replaced segment or a superseded
+// directory snapshot) hand it to Retire() instead of deleting it; the object
+// is stamped with the epoch at retirement and freed only once every active
+// slot has announced a strictly newer epoch — i.e. once every reader that
+// could possibly still hold a reference has quiesced. This is the classic
+// quiescence recipe (Fraser-style EBR, same discipline as the vbr/vcas
+// structures in bundledrefs): readers pay one seq_cst store per operation
+// and never take a lock; reclamation cost is borne by the rare writers.
+//
+// Slots are claimed per guard with a hashed linear probe over a fixed,
+// cache-line-padded slot array, so distinct threads land on distinct cache
+// lines and the read path never contends on shared state.
+
+#ifndef FITREE_CONCURRENCY_EPOCH_H_
+#define FITREE_CONCURRENCY_EPOCH_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fitree {
+
+class EpochManager {
+ public:
+  static constexpr size_t kMaxSlots = 128;
+  static constexpr uint64_t kIdle = ~0ull;
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // Frees everything still on the retire list. The caller must guarantee no
+  // guard is active (single-threaded teardown); the assert documents that.
+  ~EpochManager() {
+    assert(ActiveGuards() == 0 && "EpochManager destroyed with active guards");
+    const bool drained = DrainAll();
+    assert(drained && "retire list not drainable at shutdown");
+    (void)drained;
+  }
+
+ private:
+  struct Slot;
+
+ public:
+  // RAII epoch participation: hold one for the duration of any operation
+  // that dereferences epoch-protected pointers.
+  class Guard {
+   public:
+    explicit Guard(EpochManager& mgr) : slot_(mgr.ClaimSlot()) {
+      // seq_cst: the announcement must be globally ordered against the
+      // reclaimer's slot scan — either the scan sees this slot (and the
+      // retired object survives) or this guard started after the scan, in
+      // which case the object was already unreachable from the shared roots.
+      slot_->epoch.store(mgr.global_epoch_.load(std::memory_order_seq_cst),
+                         std::memory_order_seq_cst);
+    }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    ~Guard() {
+      slot_->epoch.store(kIdle, std::memory_order_release);
+      slot_->claimed.store(false, std::memory_order_release);
+    }
+
+   private:
+    Slot* slot_;
+  };
+
+  // Transfers ownership of `p`: it is deleted once every guard active at the
+  // time of this call has exited. Safe to call while holding a Guard (the
+  // caller's own slot simply defers the free to a later reclaim pass).
+  template <typename T>
+  void Retire(T* p) {
+    RetireRaw(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  void RetireRaw(void* p, void (*deleter)(void*)) {
+    const uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lock(retire_mu_);
+      retired_.push_back({epoch, p, deleter});
+    }
+    retired_count_.fetch_add(1, std::memory_order_relaxed);
+    TryReclaim();
+  }
+
+  // One reclamation pass: advance the global epoch, then free every retired
+  // object whose stamp predates all currently announced epochs. Returns the
+  // number of objects freed.
+  size_t TryReclaim() {
+    global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    const uint64_t min_active = MinActiveEpoch();
+    std::vector<Retired> eligible;
+    {
+      std::lock_guard<std::mutex> lock(retire_mu_);
+      size_t kept = 0;
+      for (Retired& r : retired_) {
+        if (r.epoch < min_active) {
+          eligible.push_back(r);
+        } else {
+          retired_[kept++] = r;
+        }
+      }
+      retired_.resize(kept);
+    }
+    // Deleters run outside the lock: they may be arbitrarily heavy and must
+    // not serialize against concurrent Retire() calls.
+    for (const Retired& r : eligible) r.deleter(r.p);
+    freed_count_.fetch_add(eligible.size(), std::memory_order_relaxed);
+    return eligible.size();
+  }
+
+  // Repeatedly reclaims until the retire list is empty. Only succeeds when
+  // no guard stays permanently active; returns false after `max_rounds`
+  // bounded attempts (so a stuck reader cannot hang teardown diagnostics).
+  bool DrainAll(int max_rounds = 1024) {
+    for (int round = 0; round < max_rounds; ++round) {
+      if (PendingCount() == 0) return true;
+      if (TryReclaim() == 0) std::this_thread::yield();
+    }
+    return PendingCount() == 0;
+  }
+
+  size_t PendingCount() const {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    return retired_.size();
+  }
+
+  uint64_t retired_count() const {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t freed_count() const {
+    return freed_count_.load(std::memory_order_relaxed);
+  }
+
+  size_t ActiveGuards() const {
+    size_t n = 0;
+    for (const Slot& s : slots_) {
+      if (s.claimed.load(std::memory_order_acquire)) ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+    std::atomic<bool> claimed{false};
+  };
+
+  struct Retired {
+    uint64_t epoch;
+    void* p;
+    void (*deleter)(void*);
+  };
+
+  // Distinct threads start probing at distinct, Fibonacci-scattered offsets,
+  // so the common case is one uncontended exchange on a thread-private line.
+  static uint32_t ThreadProbeStart() {
+    static std::atomic<uint32_t> counter{0};
+    thread_local const uint32_t start =
+        counter.fetch_add(1, std::memory_order_relaxed) * 2654435761u;
+    return start;
+  }
+
+  Slot* ClaimSlot() {
+    const uint32_t start = ThreadProbeStart();
+    for (size_t attempt = 0;; ++attempt) {
+      Slot& s = slots_[(start + attempt) % kMaxSlots];
+      if (!s.claimed.load(std::memory_order_relaxed) &&
+          !s.claimed.exchange(true, std::memory_order_acquire)) {
+        return &s;
+      }
+      if (attempt >= kMaxSlots) std::this_thread::yield();
+    }
+  }
+
+  uint64_t MinActiveEpoch() const {
+    uint64_t min_epoch = global_epoch_.load(std::memory_order_seq_cst);
+    for (const Slot& s : slots_) {
+      const uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+      if (e != kIdle && e < min_epoch) min_epoch = e;
+    }
+    return min_epoch;
+  }
+
+  std::atomic<uint64_t> global_epoch_{1};
+  Slot slots_[kMaxSlots];
+
+  mutable std::mutex retire_mu_;
+  std::vector<Retired> retired_;
+  std::atomic<uint64_t> retired_count_{0};
+  std::atomic<uint64_t> freed_count_{0};
+};
+
+using EpochGuard = EpochManager::Guard;
+
+}  // namespace fitree
+
+#endif  // FITREE_CONCURRENCY_EPOCH_H_

@@ -1,0 +1,69 @@
+// Coarse-grained baseline for bench_concurrent and the stress tests: the
+// single-threaded FitingTree behind one std::mutex. Every operation —
+// including pure lookups — serializes on the global lock, so its aggregate
+// throughput is flat (or worse, with contention) as threads are added.
+// That is the yardstick the epoch/latch design in
+// concurrent_fiting_tree.h has to beat.
+
+#ifndef FITREE_CONCURRENCY_MUTEX_FITING_TREE_H_
+#define FITREE_CONCURRENCY_MUTEX_FITING_TREE_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/fiting_tree.h"
+
+namespace fitree {
+
+template <typename K>
+class MutexFitingTree {
+ public:
+  static std::unique_ptr<MutexFitingTree<K>> Create(
+      const std::vector<K>& keys, const FitingTreeConfig& config) {
+    auto wrapper = std::make_unique<MutexFitingTree<K>>();
+    wrapper->tree_ = FitingTree<K>::Create(keys, config);
+    return wrapper;
+  }
+
+  bool Contains(const K& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tree_->Contains(key);
+  }
+
+  std::optional<K> Find(const K& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tree_->Find(key);
+  }
+
+  void Insert(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tree_->Insert(key);
+  }
+
+  template <typename Fn>
+  void ScanRange(const K& lo, const K& hi, Fn fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    tree_->ScanRange(lo, hi, fn);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tree_->size();
+  }
+
+  size_t SegmentCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tree_->SegmentCount();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unique_ptr<FitingTree<K>> tree_;
+};
+
+}  // namespace fitree
+
+#endif  // FITREE_CONCURRENCY_MUTEX_FITING_TREE_H_

@@ -121,7 +121,7 @@ class FitingTree {
   template <typename Fn>
   void ScanRange(const K& lo, const K& hi, Fn fn) const {
     if (live_segments_ == 0 || hi < lo) return;
-    K start_key;
+    K start_key{};
     if (directory_.FindFloor(lo, &start_key) == nullptr) {
       directory_.First(&start_key);
     }
@@ -194,22 +194,16 @@ class FitingTree {
     return const_cast<SegmentData*>(LocateSegment(key));
   }
 
-  // Error-bounded search of the segment page for an exact match.
+  // Error-bounded search of the segment page for an exact match, through
+  // the same ErrorWindow as the disk-resident and concurrent lookup paths.
   bool SearchSegment(const SegmentData& seg, const K& key) const {
     const size_t n = seg.keys.size();
     if (n == 0) return false;
     const double pred = seg.Predict(key);
-    const double slack = config_.error + 2.0;
     // A key below the leftmost segment (floor fallback) predicts far
     // negative; a present key always predicts a window overlapping [0, n).
-    if (pred + slack < 0.0) return false;
-    const size_t begin =
-        pred - slack <= 0.0 ? 0
-                            : std::min(n, static_cast<size_t>(pred - slack));
-    const size_t end =
-        pred + slack >= static_cast<double>(n)
-            ? n
-            : std::max(begin, static_cast<size_t>(pred + slack));
+    if (pred + config_.error + 2.0 < 0.0) return false;
+    const auto [begin, end] = ErrorWindow(pred, config_.error, 0, n);
     const size_t hint = static_cast<size_t>(std::max(0.0, pred));
     const size_t i = detail::BoundedLowerBound(
         seg.keys.data(), begin, end, hint, key, config_.search_policy);

@@ -26,7 +26,9 @@ TEST(BTreeMap, InsertFindAgainstStdMap) {
     const int64_t* found = tree.Find(key);
     const auto it = oracle.find(key);
     ASSERT_EQ(found != nullptr, it != oracle.end()) << "key " << key;
-    if (found != nullptr) EXPECT_EQ(*found, it->second);
+    if (found != nullptr) {
+      EXPECT_EQ(*found, it->second);
+    }
   }
 }
 

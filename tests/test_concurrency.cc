@@ -1,0 +1,374 @@
+// Tests for the concurrency/ subsystem: epoch reclamation, the
+// sequence-validated segment latch, the background merge worker, and the
+// ConcurrentFitingTree itself — sequential correctness, multi-threaded
+// stress against a mutex-protected reference, and a no-leak shutdown
+// assertion for the epoch retire list.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "concurrency/concurrent_fiting_tree.h"
+#include "concurrency/epoch.h"
+#include "concurrency/merge_worker.h"
+#include "concurrency/mutex_fiting_tree.h"
+#include "concurrency/seg_latch.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using fitree::ConcurrentFitingTree;
+using fitree::ConcurrentFitingTreeConfig;
+using fitree::EpochGuard;
+using fitree::EpochManager;
+using fitree::MergeWorker;
+using fitree::MutexFitingTree;
+using fitree::SegLatch;
+using fitree::workloads::Access;
+using fitree::workloads::Op;
+using fitree::workloads::OpMix;
+using fitree::workloads::OpType;
+
+int StressThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::max(2u, std::min(4u, hw == 0 ? 2u : hw)));
+}
+
+// ---- EpochManager ----
+
+struct Tracked {
+  explicit Tracked(std::atomic<int>& counter) : alive(&counter) {
+    alive->fetch_add(1);
+  }
+  ~Tracked() { alive->fetch_sub(1); }
+  std::atomic<int>* alive;
+};
+
+TEST(EpochManager, RetireFreesAfterQuiesce) {
+  std::atomic<int> alive{0};
+  EpochManager epoch;
+  for (int i = 0; i < 100; ++i) epoch.Retire(new Tracked(alive));
+  EXPECT_TRUE(epoch.DrainAll());
+  EXPECT_EQ(epoch.PendingCount(), 0u);
+  EXPECT_EQ(alive.load(), 0);
+  EXPECT_EQ(epoch.retired_count(), 100u);
+  EXPECT_EQ(epoch.freed_count(), 100u);
+}
+
+TEST(EpochManager, ActiveGuardBlocksReclamation) {
+  std::atomic<int> alive{0};
+  EpochManager epoch;
+  {
+    EpochGuard guard(epoch);
+    epoch.Retire(new Tracked(alive));
+    // The guard was active when the object was retired, so no number of
+    // reclaim passes may free it.
+    for (int i = 0; i < 10; ++i) epoch.TryReclaim();
+    EXPECT_EQ(alive.load(), 1);
+    EXPECT_EQ(epoch.PendingCount(), 1u);
+  }
+  EXPECT_TRUE(epoch.DrainAll());
+  EXPECT_EQ(alive.load(), 0);
+}
+
+TEST(EpochManager, NoRetireListLeakAtShutdown) {
+  std::atomic<int> alive{0};
+  {
+    EpochManager epoch;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < StressThreads(); ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 500; ++i) {
+          EpochGuard guard(epoch);
+          epoch.Retire(new Tracked(alive));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    // Destructor drains whatever reclaim passes left pending.
+  }
+  EXPECT_EQ(alive.load(), 0);
+}
+
+TEST(EpochManager, GuardsFromManyThreads) {
+  EpochManager epoch;
+  std::atomic<int> sum{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        EpochGuard guard(epoch);
+        sum.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(sum.load(), 8000);
+  EXPECT_EQ(epoch.ActiveGuards(), 0u);
+}
+
+// ---- SegLatch ----
+
+TEST(SegLatch, MutualExclusion) {
+  SegLatch latch;
+  int64_t counter = 0;  // plain int: races would corrupt it (and trip TSan)
+  std::vector<std::thread> threads;
+  constexpr int kPerThread = 20000;
+  for (int t = 0; t < StressThreads(); ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SegLatch::Scoped lock(latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<int64_t>(kPerThread) * StressThreads());
+}
+
+TEST(SegLatch, SequenceDetectsWriters) {
+  SegLatch latch;
+  const uint32_t before = latch.ReadSeq();
+  EXPECT_TRUE(latch.Validate(before));
+  latch.Lock();
+  latch.Unlock();
+  // A completed critical section must invalidate the earlier sequence.
+  EXPECT_FALSE(latch.Validate(before));
+  const uint32_t after = latch.ReadSeq();
+  EXPECT_EQ(after, before + 2);
+}
+
+TEST(SegLatch, TryLock) {
+  SegLatch latch;
+  EXPECT_TRUE(latch.TryLock());
+  EXPECT_FALSE(latch.TryLock());
+  latch.Unlock();
+  EXPECT_TRUE(latch.TryLock());
+  latch.Unlock();
+}
+
+// ---- MergeWorker ----
+
+TEST(MergeWorker, ProcessesAllItemsBeforeStop) {
+  MergeWorker worker;
+  std::atomic<int> handled{0};
+  worker.Start([&](void*) { handled.fetch_add(1); });
+  for (int i = 0; i < 100; ++i) worker.Enqueue(nullptr);
+  worker.Stop();
+  EXPECT_EQ(handled.load(), 100);
+  EXPECT_EQ(worker.processed(), 100u);
+}
+
+TEST(MergeWorker, WaitIdleDrains) {
+  MergeWorker worker;
+  std::atomic<int> handled{0};
+  worker.Start([&](void*) { handled.fetch_add(1); });
+  for (int i = 0; i < 50; ++i) worker.Enqueue(nullptr);
+  worker.WaitIdle();
+  EXPECT_EQ(handled.load(), 50);
+  worker.Stop();
+}
+
+// ---- ConcurrentFitingTree: sequential correctness ----
+
+TEST(ConcurrentFitingTree, SequentialMatchesOracle) {
+  const auto keys = fitree::datasets::Iot(20000, 7);
+  std::set<int64_t> oracle(keys.begin(), keys.end());
+  ConcurrentFitingTreeConfig config;
+  config.error = 64.0;
+  config.buffer_size = 8;  // tiny: force frequent merge-and-resegment
+  auto tree = ConcurrentFitingTree<int64_t>::Create(keys, config);
+  EXPECT_EQ(tree->size(), keys.size());
+
+  const auto inserts =
+      fitree::workloads::MakeInserts<int64_t>(keys, 5000, 21);
+  const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
+      keys, 5000, Access::kUniform, 0.3, 22);
+  for (size_t i = 0; i < inserts.size(); ++i) {
+    tree->Insert(inserts[i]);
+    oracle.insert(inserts[i]);
+    const int64_t probe = probes[i % probes.size()];
+    ASSERT_EQ(tree->Contains(probe), oracle.count(probe) > 0)
+        << "after insert " << i;
+    ASSERT_TRUE(tree->Contains(inserts[i]));
+  }
+  EXPECT_EQ(tree->size(), oracle.size());
+  EXPECT_GT(tree->stats().segment_merges, 0u);
+
+  // Full-range scan returns exactly the oracle, in order.
+  std::vector<int64_t> scanned;
+  tree->ScanRange(*oracle.begin(), *oracle.rbegin(),
+                  [&](int64_t k) { scanned.push_back(k); });
+  EXPECT_TRUE(std::equal(scanned.begin(), scanned.end(), oracle.begin(),
+                         oracle.end()));
+}
+
+TEST(ConcurrentFitingTree, EmptyTreeBootstrap) {
+  ConcurrentFitingTreeConfig config;
+  config.error = 16.0;
+  auto tree = ConcurrentFitingTree<int64_t>::Create({}, config);
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_FALSE(tree->Contains(42));
+  for (int64_t k = 100; k > 0; k -= 3) tree->Insert(k);
+  for (int64_t k = 100; k > 0; k -= 3) EXPECT_TRUE(tree->Contains(k));
+  EXPECT_FALSE(tree->Contains(99));
+  EXPECT_EQ(tree->size(), 34u);
+}
+
+// ---- ConcurrentFitingTree: multi-threaded stress ----
+
+// Shared harness: `threads` workers replay deterministic per-thread streams
+// (ThreadSeed-seeded) of inserts, lookups and scans. During the run every
+// lookup of an initially loaded key must hit (bulk-loaded keys never
+// disappear, merges included) and scans must come back sorted and
+// duplicate-free. Afterwards the tree must agree exactly with a std::set
+// reference built from the op log, and with a MutexFitingTree replaying
+// the same streams.
+void RunStress(bool background_merge) {
+  const auto keys = fitree::datasets::Weblogs(30000, 13);
+  ConcurrentFitingTreeConfig config;
+  config.error = 64.0;
+  config.buffer_size = 8;  // merge-heavy on purpose
+  config.background_merge = background_merge;
+  auto tree = ConcurrentFitingTree<int64_t>::Create(keys, config);
+
+  fitree::FitingTreeConfig ref_config;
+  ref_config.error = 64.0;
+  ref_config.buffer_size = 8;
+  auto mutex_tree = MutexFitingTree<int64_t>::Create(keys, ref_config);
+
+  const int threads = StressThreads();
+  const OpMix mix{.read = 0.5, .insert = 0.4, .scan = 0.1};
+  const auto streams = fitree::workloads::MakeThreadOpStreams<int64_t>(
+      keys, threads, 20000, mix, Access::kUniform, 0.0005, 99);
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const auto& ops = streams[static_cast<size_t>(t)];
+      for (size_t i = 0; i < ops.size() && !failed.load(); ++i) {
+        const Op<int64_t>& op = ops[i];
+        switch (op.type) {
+          case OpType::kRead:
+            tree->Contains(op.key);
+            mutex_tree->Contains(op.key);
+            break;
+          case OpType::kInsert:
+            tree->Insert(op.key);
+            mutex_tree->Insert(op.key);
+            if (!tree->Contains(op.key)) failed.store(true);
+            break;
+          case OpType::kScan: {
+            int64_t prev = op.key - 1;
+            bool sorted = true;
+            tree->ScanRange(op.key, op.hi, [&](int64_t k) {
+              sorted = sorted && k > prev;
+              prev = k;
+            });
+            if (!sorted) failed.store(true);
+            break;
+          }
+        }
+        // Bulk-loaded keys are never lost, merges notwithstanding.
+        if (i % 256 == 0 && !tree->Contains(keys[(i * 7919) % keys.size()])) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  ASSERT_FALSE(failed.load());
+  tree->QuiesceMerges();
+
+  std::set<int64_t> ref(keys.begin(), keys.end());
+  for (const auto& stream : streams) {
+    for (const Op<int64_t>& op : stream) {
+      if (op.type == OpType::kInsert) ref.insert(op.key);
+    }
+  }
+  ASSERT_EQ(tree->size(), ref.size());
+  ASSERT_EQ(mutex_tree->size(), ref.size());
+  for (const auto& stream : streams) {
+    for (const Op<int64_t>& op : stream) {
+      if (op.type == OpType::kInsert) {
+        ASSERT_TRUE(tree->Contains(op.key)) << op.key;
+      }
+    }
+  }
+  std::vector<int64_t> scanned;
+  tree->ScanRange(*ref.begin(), *ref.rbegin(),
+                  [&](int64_t k) { scanned.push_back(k); });
+  ASSERT_TRUE(
+      std::equal(scanned.begin(), scanned.end(), ref.begin(), ref.end()));
+
+  // Epoch hygiene: after a quiesced drain the retire list is empty and
+  // everything ever retired has been freed — no leak at shutdown.
+  EXPECT_TRUE(tree->epoch().DrainAll());
+  EXPECT_EQ(tree->epoch().PendingCount(), 0u);
+  EXPECT_EQ(tree->epoch().retired_count(), tree->epoch().freed_count());
+  EXPECT_GT(tree->stats().segment_merges, 0u);
+}
+
+TEST(ConcurrentFitingTree, StressInlineMerge) { RunStress(false); }
+
+TEST(ConcurrentFitingTree, StressBackgroundMerge) { RunStress(true); }
+
+TEST(ConcurrentFitingTree, ConcurrentInsertsIntoEmptyTree) {
+  ConcurrentFitingTreeConfig config;
+  config.error = 32.0;
+  auto tree = ConcurrentFitingTree<int64_t>::Create({}, config);
+  const int threads = StressThreads();
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Disjoint per-thread key ranges: every insert is unique.
+        tree->Insert(static_cast<int64_t>(t) * 1000000 + i * 3);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(tree->size(),
+            static_cast<size_t>(threads) * static_cast<size_t>(kPerThread));
+  for (int t = 0; t < threads; ++t) {
+    for (int i = 0; i < kPerThread; i += 97) {
+      ASSERT_TRUE(
+          tree->Contains(static_cast<int64_t>(t) * 1000000 + i * 3));
+    }
+  }
+}
+
+TEST(ConcurrentFitingTree, ConcurrentDuplicateInsertsKeepSetSemantics) {
+  const auto keys = fitree::datasets::Step(5000, 100);
+  ConcurrentFitingTreeConfig config;
+  config.error = 32.0;
+  config.buffer_size = 4;
+  auto tree = ConcurrentFitingTree<int64_t>::Create(keys, config);
+  // All threads insert the *same* stream of keys: the final size must count
+  // each distinct key once no matter how buffers and merges interleave.
+  // (On staircase data AbsentKey can fall back to existing keys, so the
+  // expectation is the union, not keys + distinct inserts.)
+  const auto inserts = fitree::workloads::MakeInserts<int64_t>(keys, 3000, 5);
+  std::set<int64_t> expected(keys.begin(), keys.end());
+  expected.insert(inserts.begin(), inserts.end());
+  std::vector<std::thread> workers;
+  for (int t = 0; t < StressThreads(); ++t) {
+    workers.emplace_back([&] {
+      for (const int64_t k : inserts) tree->Insert(k);
+    });
+  }
+  for (auto& w : workers) w.join();
+  tree->QuiesceMerges();
+  EXPECT_EQ(tree->size(), expected.size());
+}
+
+}  // namespace

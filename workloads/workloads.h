@@ -20,6 +20,27 @@ enum class Access {
   kZipfian,  // Zipf(theta=0.99) popularity, hot keys scattered over the set
 };
 
+// SplitMix64 step: advances `state` by the golden-ratio gamma and returns a
+// finalized 64-bit output. The canonical seed expander (Vigna 2015) — every
+// distinct state index yields a decorrelated value, which is what makes
+// per-thread seeding below collision-free by construction.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Deterministic per-thread stream seed: element `thread_id` of the
+// SplitMix64 sequence rooted at `base_seed`. Multi-threaded benches seed
+// thread t's generator with ThreadSeed(base, t) so every run of the same
+// binary replays identical per-thread operation streams regardless of
+// scheduling, while distinct threads never share a stream.
+inline uint64_t ThreadSeed(uint64_t base_seed, uint64_t thread_id) {
+  uint64_t state = base_seed + thread_id * 0x9E3779B97F4A7C15ull;
+  return SplitMix64(state);
+}
+
 template <typename K>
 struct RangeQuery {
   K lo{};
@@ -163,6 +184,101 @@ std::vector<RangeQuery<K>> MakeRangeQueries(const std::vector<K>& keys,
     queries.push_back({keys[start], keys[end]});
   }
   return queries;
+}
+
+// ---- YCSB-style mixed operation streams (bench_concurrent) ----
+
+enum class OpType : uint8_t {
+  kRead,    // point lookup
+  kInsert,  // insert of a key absent from the base data
+  kScan,    // closed range [key, hi]
+};
+
+template <typename K>
+struct Op {
+  OpType type = OpType::kRead;
+  K key{};
+  K hi{};  // scan upper bound; unused for reads/inserts
+};
+
+// Operation mix as fractions summing to at most 1; the remainder (if any)
+// falls to reads. The standard YCSB core mixes map as:
+//   A = {.read=0.5, .insert=0.5}   B = {.read=0.95, .insert=0.05}
+//   C = {.read=1.0}                E = {.scan=0.95, .insert=0.05}
+// (this repo's indexes are sets, so YCSB "update" is modeled as insert).
+struct OpMix {
+  double read = 1.0;
+  double insert = 0.0;
+  double scan = 0.0;
+};
+
+// One thread's operation stream: `count` ops over sorted `keys` drawn from
+// `mix`. Read/scan start keys follow `access` (uniform or Zipfian); inserts
+// fall in gaps of the base data; scans cover ~`scan_selectivity` * n keys.
+// Pass seed = ThreadSeed(base, thread_id) for reproducible per-thread
+// streams.
+template <typename K>
+std::vector<Op<K>> MakeOpStream(const std::vector<K>& keys, size_t count,
+                                const OpMix& mix, Access access,
+                                double scan_selectivity, uint64_t seed) {
+  std::vector<Op<K>> ops;
+  ops.reserve(count);
+  if (keys.empty()) return ops;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::optional<detail::ZipfianRanks> zipf;
+  if (access == Access::kZipfian) zipf.emplace(keys.size());
+  const size_t span = std::max<size_t>(
+      1, static_cast<size_t>(scan_selectivity *
+                             static_cast<double>(keys.size())));
+  for (size_t i = 0; i < count; ++i) {
+    const double draw = unif(rng);
+    Op<K> op;
+    if (draw < mix.insert) {
+      // A degenerate base (< 2 keys) has no gaps to insert into; those
+      // draws fall to reads, matching the documented remainder rule.
+      if (keys.size() > 1) {
+        op.type = OpType::kInsert;
+        op.key = detail::AbsentKey(keys, rng);
+      } else {
+        op.type = OpType::kRead;
+        op.key = keys.front();
+      }
+    } else if (draw < mix.insert + mix.scan) {
+      op.type = OpType::kScan;
+      const size_t start =
+          (zipf.has_value() ? zipf->Next(rng) : rng() % keys.size());
+      const size_t end = std::min(keys.size() - 1, start + span - 1);
+      op.key = keys[start];
+      op.hi = keys[end];
+    } else {
+      op.type = OpType::kRead;
+      const size_t index =
+          zipf.has_value() ? zipf->Next(rng) : rng() % keys.size();
+      op.key = keys[index];
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+// Per-thread streams for a `threads`-wide run: thread t gets an independent
+// stream seeded with ThreadSeed(base_seed, t). Deterministic run-to-run for
+// a fixed (base_seed, threads) pair.
+template <typename K>
+std::vector<std::vector<Op<K>>> MakeThreadOpStreams(
+    const std::vector<K>& keys, int threads, size_t ops_per_thread,
+    const OpMix& mix, Access access, double scan_selectivity,
+    uint64_t base_seed) {
+  std::vector<std::vector<Op<K>>> streams;
+  streams.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    streams.push_back(MakeOpStream(keys, ops_per_thread, mix, access,
+                                   scan_selectivity,
+                                   ThreadSeed(base_seed,
+                                              static_cast<uint64_t>(t))));
+  }
+  return streams;
 }
 
 }  // namespace fitree::workloads
