@@ -7,24 +7,21 @@
 //   concurrent — epoch-protected reads, per-segment insert latches
 //   mutex      — the same FitingTree behind one std::mutex
 //   single     — plain FitingTree, 1 thread only (the no-sync floor)
-// and reports aggregate Mops/s plus sampled p50/p99 op latency.
-//
-// Every run is validated against a std::set reference built from the same
-// per-thread operation logs: final size must match, membership must agree
-// on a probe sample, and quiesced range scans must return exactly the
-// reference contents. Thread t's stream is seeded ThreadSeed(base, t)
-// (workloads/workloads.h), so runs are reproducible op-for-op.
+// The record's ns/op is aggregate wall time per operation (Mops/s rides
+// along as a metric), with sampled p50/p99 op latency from the last rep.
+// Each repetition rebuilds the tree and replays the identical per-thread
+// op streams, and EVERY rep is validated against a std::set reference
+// built from the same logs — size, sampled membership, and exact
+// range-scan contents. Any mismatch aborts the bench.
 //
 // Env knobs (see EXPERIMENTS.md): FITREE_BENCH_SCALE scales sizes,
 // FITREE_BENCH_MAX_THREADS caps the sweep (default 8),
+// FITREE_BENCH_N / FITREE_BENCH_OPS absolute overrides,
 // FITREE_BENCH_BG_MERGE=1 routes merges to the background worker.
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
-#include <iostream>
 #include <memory>
 #include <random>
 #include <set>
@@ -32,28 +29,21 @@
 #include <thread>
 #include <vector>
 
-#include "bench/bench_common.h"
-#include "common/env.h"
-#include "common/table_printer.h"
+#include "bench/harness/registry.h"
+#include "bench/harness/runner.h"
 #include "concurrency/concurrent_fiting_tree.h"
 #include "concurrency/mutex_fiting_tree.h"
 #include "core/fiting_tree.h"
 #include "datasets/datasets.h"
 #include "workloads/workloads.h"
 
+namespace fitree::bench {
 namespace {
 
-using fitree::ConcurrentFitingTree;
-using fitree::ConcurrentFitingTreeConfig;
-using fitree::FitingTree;
-using fitree::FitingTreeConfig;
-using fitree::MutexFitingTree;
-using fitree::TablePrinter;
-using fitree::Timer;
-using fitree::workloads::Access;
-using fitree::workloads::Op;
-using fitree::workloads::OpMix;
-using fitree::workloads::OpType;
+using workloads::Access;
+using workloads::Op;
+using workloads::OpMix;
+using workloads::OpType;
 
 using Key = int64_t;
 using Streams = std::vector<std::vector<Op<Key>>>;
@@ -62,21 +52,15 @@ constexpr uint64_t kBaseSeed = 0xF17EE5EEDull;
 constexpr double kScanSelectivity = 0.0001;
 constexpr int kLatencySampleEvery = 16;
 
-struct Mix {
-  const char* name;
-  OpMix mix;
-};
-
 struct RunResult {
-  double mops = 0.0;
+  double ns_per_op = 0.0;
   double p50_ns = 0.0;
   double p99_ns = 0.0;
 };
 
 // Drives `streams[t]` on thread t against `index`, timing the whole run for
 // aggregate throughput and sampling every kLatencySampleEvery-th op for the
-// latency percentiles. Returns per-op latency samples merged across
-// threads.
+// latency percentiles.
 template <typename Index>
 RunResult DriveThreads(Index& index, const Streams& streams) {
   const int threads = static_cast<int>(streams.size());
@@ -119,14 +103,14 @@ RunResult DriveThreads(Index& index, const Streams& streams) {
         }
         if (sampled) lat.push_back(op_timer.ElapsedNs());
       }
-      fitree::bench::SinkValue(sink);
+      SinkValue(sink);
     });
   }
   while (ready.load() < threads) std::this_thread::yield();
   wall.Reset();
   go.store(true, std::memory_order_release);
   for (auto& w : workers) w.join();
-  const double seconds = wall.ElapsedSeconds();
+  const double ns = static_cast<double>(wall.ElapsedNs());
 
   size_t total_ops = 0;
   for (const auto& s : streams) total_ops += s.size();
@@ -136,7 +120,7 @@ RunResult DriveThreads(Index& index, const Streams& streams) {
   }
   std::sort(merged.begin(), merged.end());
   RunResult r;
-  r.mops = static_cast<double>(total_ops) / seconds / 1e6;
+  r.ns_per_op = total_ops > 0 ? ns / static_cast<double>(total_ops) : 0.0;
   if (!merged.empty()) {
     r.p50_ns = static_cast<double>(merged[merged.size() / 2]);
     r.p99_ns = static_cast<double>(merged[merged.size() * 99 / 100]);
@@ -157,15 +141,13 @@ std::set<Key> ReferenceSet(const std::vector<Key>& keys,
   return ref;
 }
 
-// Post-run validation of a quiesced index against the reference set:
-// size, membership on a mixed present/absent probe sample, and exact
-// range-scan contents. Any mismatch aborts the benchmark.
+// Post-run validation of a quiesced index against the reference set.
 template <typename Index>
 void Validate(Index& index, const std::set<Key>& ref, const char* label) {
   if (index.size() != ref.size()) {
-    std::fprintf(stderr, "%s: size %zu != reference %zu\n", label,
-                 index.size(), ref.size());
-    std::exit(1);
+    Die(std::string("concurrent: ") + label + ": size " +
+        std::to_string(index.size()) + " != reference " +
+        std::to_string(ref.size()));
   }
   std::mt19937_64 rng(kBaseSeed ^ 0xABCD);
   std::vector<Key> ref_keys(ref.begin(), ref.end());
@@ -174,9 +156,8 @@ void Validate(Index& index, const std::set<Key>& ref, const char* label) {
                           ? ref_keys[rng() % ref_keys.size()]
                           : static_cast<Key>(rng() % (ref_keys.back() + 2));
     if (index.Contains(probe) != (ref.count(probe) > 0)) {
-      std::fprintf(stderr, "%s: membership mismatch at key %lld\n", label,
-                   static_cast<long long>(probe));
-      std::exit(1);
+      Die(std::string("concurrent: ") + label +
+          ": membership mismatch at key " + std::to_string(probe));
     }
   }
   for (int i = 0; i < 10; ++i) {
@@ -189,36 +170,36 @@ void Validate(Index& index, const std::set<Key>& ref, const char* label) {
     const auto lo = ref.lower_bound(ref_keys[start]);
     const auto hi = ref.upper_bound(ref_keys[end]);
     if (!std::equal(got.begin(), got.end(), lo, hi)) {
-      std::fprintf(stderr, "%s: range scan mismatch at query %d\n", label, i);
-      std::exit(1);
+      Die(std::string("concurrent: ") + label +
+          ": range scan mismatch at query " + std::to_string(i));
     }
   }
 }
 
-}  // namespace
-
-int main() {
+void RunConcurrent(Runner& runner) {
   // FITREE_BENCH_N / FITREE_BENCH_OPS override the scaled defaults — the
   // TSan CI smoke uses them to stay inside sanitizer time budgets.
-  const size_t n = static_cast<size_t>(fitree::GetEnvInt64(
-      "FITREE_BENCH_N",
-      static_cast<int64_t>(fitree::bench::ScaledN(400'000))));
-  const size_t ops_per_thread = static_cast<size_t>(fitree::GetEnvInt64(
-      "FITREE_BENCH_OPS",
-      static_cast<int64_t>(fitree::bench::ScaledN(120'000))));
+  const size_t n = static_cast<size_t>(GetEnvInt64(
+      "FITREE_BENCH_N", static_cast<int64_t>(ScaledN(400'000))));
+  const size_t ops_per_thread = static_cast<size_t>(GetEnvInt64(
+      "FITREE_BENCH_OPS", static_cast<int64_t>(ScaledN(120'000))));
   const int max_threads =
-      std::max(1, fitree::GetEnvInt("FITREE_BENCH_MAX_THREADS", 8));
-  const bool bg_merge = fitree::GetEnvInt("FITREE_BENCH_BG_MERGE", 0) != 0;
+      std::max(1, GetEnvInt("FITREE_BENCH_MAX_THREADS", 8));
+  const bool bg_merge = GetEnvInt("FITREE_BENCH_BG_MERGE", 0) != 0;
   const double error = 128.0;
 
-  const auto keys = fitree::datasets::Weblogs(n, 11);
-  std::printf("bench_concurrent: %zu keys, %zu ops/thread, error=%.0f, "
-              "max_threads=%d, bg_merge=%d, hw_threads=%u\n",
-              keys.size(), ops_per_thread, error, max_threads,
-              static_cast<int>(bg_merge),
-              std::thread::hardware_concurrency());
+  const auto keys = MemoKeys("real/Weblogs/" + std::to_string(n) + "/11",
+                             [&] { return datasets::Weblogs(n, 11); });
+  std::printf(
+      "concurrent: %zu keys, %zu ops/thread, error=%.0f, max_threads=%d, "
+      "bg_merge=%d, hw_threads=%u\n",
+      keys->size(), ops_per_thread, error, max_threads,
+      static_cast<int>(bg_merge), std::thread::hardware_concurrency());
 
-  const Mix mixes[] = {
+  const struct {
+    const char* name;
+    OpMix mix;
+  } mixes[] = {
       {"A(50r/50i)", {.read = 0.5, .insert = 0.5, .scan = 0.0}},
       {"B(95r/5i)", {.read = 0.95, .insert = 0.05, .scan = 0.0}},
       {"C(100r)", {.read = 1.0, .insert = 0.0, .scan = 0.0}},
@@ -226,66 +207,87 @@ int main() {
   };
   const Access accesses[] = {Access::kUniform, Access::kZipfian};
 
-  fitree::bench::PrintHeader(
-      "YCSB sweep: aggregate Mops/s and sampled op latency");
-  TablePrinter table({"mix", "access", "threads", "structure", "Mops",
-                      "p50_ns", "p99_ns", "segments", "merges", "check"});
-
-  for (const Mix& mix : mixes) {
+  for (const auto& mix : mixes) {
     for (const Access access : accesses) {
       for (int threads = 1; threads <= max_threads; threads *= 2) {
-        const auto streams = fitree::workloads::MakeThreadOpStreams<Key>(
-            keys, threads, ops_per_thread, mix.mix, access, kScanSelectivity,
+        const auto streams = workloads::MakeThreadOpStreams<Key>(
+            *keys, threads, ops_per_thread, mix.mix, access, kScanSelectivity,
             kBaseSeed);
-        const std::set<Key> ref = ReferenceSet(keys, streams);
+        const std::set<Key> ref = ReferenceSet(*keys, streams);
         const char* access_name =
             access == Access::kUniform ? "uniform" : "zipfian";
 
+        const auto report = [&](const char* structure, const Stats& stats,
+                                const RunResult& last, double segments,
+                                double merges) {
+          runner.Report({{"mix", mix.name},
+                         {"access", access_name},
+                         {"threads", std::to_string(threads)},
+                         {"structure", structure}},
+                        stats,
+                        {{"Mops", MopsFromNsPerOp(stats.p50)},
+                         {"p50_ns", last.p50_ns},
+                         {"p99_ns", last.p99_ns},
+                         {"segments", segments},
+                         {"merges", merges}});
+        };
+
         {
-          ConcurrentFitingTreeConfig config;
-          config.error = error;
-          config.background_merge = bg_merge;
-          auto tree = ConcurrentFitingTree<Key>::Create(keys, config);
-          const RunResult r = DriveThreads(*tree, streams);
-          tree->QuiesceMerges();
-          Validate(*tree, ref, "concurrent");
-          const auto stats = tree->stats();
-          table.AddRow({mix.name, access_name, std::to_string(threads),
-                        "concurrent", TablePrinter::Fmt(r.mops, 3),
-                        TablePrinter::Fmt(r.p50_ns, 0),
-                        TablePrinter::Fmt(r.p99_ns, 0),
-                        std::to_string(tree->SegmentCount()),
-                        TablePrinter::Fmt(stats.segment_merges), "ok"});
+          RunResult last;
+          double segments = 0.0, merges = 0.0;
+          const Stats stats = runner.CollectReps([&] {
+            ConcurrentFitingTreeConfig config;
+            config.error = error;
+            config.background_merge = bg_merge;
+            auto tree = ConcurrentFitingTree<Key>::Create(*keys, config);
+            last = DriveThreads(*tree, streams);
+            tree->QuiesceMerges();
+            Validate(*tree, ref, "concurrent");
+            segments = static_cast<double>(tree->SegmentCount());
+            merges = static_cast<double>(tree->stats().segment_merges);
+            return last.ns_per_op;
+          }, /*warmup=*/false);
+          report("concurrent", stats, last, segments, merges);
         }
 
         {
-          FitingTreeConfig config;
-          config.error = error;
-          auto tree = MutexFitingTree<Key>::Create(keys, config);
-          const RunResult r = DriveThreads(*tree, streams);
-          Validate(*tree, ref, "mutex");
-          table.AddRow({mix.name, access_name, std::to_string(threads),
-                        "mutex", TablePrinter::Fmt(r.mops, 3),
-                        TablePrinter::Fmt(r.p50_ns, 0),
-                        TablePrinter::Fmt(r.p99_ns, 0),
-                        std::to_string(tree->SegmentCount()), "-", "ok"});
+          RunResult last;
+          double segments = 0.0;
+          const Stats stats = runner.CollectReps([&] {
+            FitingTreeConfig config;
+            config.error = error;
+            auto tree = MutexFitingTree<Key>::Create(*keys, config);
+            last = DriveThreads(*tree, streams);
+            Validate(*tree, ref, "mutex");
+            segments = static_cast<double>(tree->SegmentCount());
+            return last.ns_per_op;
+          }, /*warmup=*/false);
+          report("mutex", stats, last, segments, 0.0);
         }
 
         if (threads == 1) {
-          FitingTreeConfig config;
-          config.error = error;
-          auto tree = FitingTree<Key>::Create(keys, config);
-          const RunResult r = DriveThreads(*tree, streams);
-          Validate(*tree, ref, "single");
-          table.AddRow({mix.name, access_name, "1", "single",
-                        TablePrinter::Fmt(r.mops, 3),
-                        TablePrinter::Fmt(r.p50_ns, 0),
-                        TablePrinter::Fmt(r.p99_ns, 0),
-                        std::to_string(tree->SegmentCount()), "-", "ok"});
+          RunResult last;
+          double segments = 0.0;
+          const Stats stats = runner.CollectReps([&] {
+            FitingTreeConfig config;
+            config.error = error;
+            auto tree = FitingTree<Key>::Create(*keys, config);
+            last = DriveThreads(*tree, streams);
+            Validate(*tree, ref, "single");
+            segments = static_cast<double>(tree->SegmentCount());
+            return last.ns_per_op;
+          }, /*warmup=*/false);
+          report("single", stats, last, segments, 0.0);
         }
       }
     }
   }
-  table.Print(std::cout);
-  return 0;
 }
+
+FITREE_REGISTER_EXPERIMENT(
+    "concurrent",
+    "YCSB A/B/C/E sweep: concurrent vs mutex vs single (validated)",
+    RunConcurrent);
+
+}  // namespace
+}  // namespace fitree::bench

@@ -1,0 +1,113 @@
+// Figure 10: cost-model accuracy on Weblogs.
+//
+// 10a compares the model's estimated lookup latency against the measured
+// latency across error thresholds; the estimate should upper-bound the
+// measurement (the model charges a full cache miss per access and ignores
+// cache hits). 10b compares estimated vs measured index size; the estimate
+// should be pessimistic but close.
+//
+// The random-access cost `c` is calibrated on this machine with the same
+// kind of pointer-chase tool the paper used (it measured c = 50ns). The
+// two DBA-facing error selectors (paper Eq. 6.1-2 / 6.2-2) are reported as
+// records too, with the selector call as the timed body.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/harness/registry.h"
+#include "bench/harness/runner.h"
+#include "common/memory_cost.h"
+#include "common/table_printer.h"
+#include "core/cost_model.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+
+namespace fitree::bench {
+namespace {
+
+void RunFig10(Runner& runner) {
+  const size_t n = ScaledN(2000000);
+  const size_t probes_n = ScaledN(200000);
+  const std::string dataset_key = "real/Weblogs/" + std::to_string(n) + "/1";
+  const auto keys =
+      MemoKeys(dataset_key, [&] { return datasets::Weblogs(n, 1); });
+  const auto probes = MemoProbes(dataset_key, *keys, probes_n,
+                                 workloads::Access::kUniform, 0.0, 2);
+
+  CostModelParams params;
+  // Calibrate c with a pointer chase over a data-sized working set.
+  params.cache_miss_ns = MeasureRandomAccessNs(
+      std::min<uint64_t>(keys->size() * sizeof(int64_t), 256ull << 20));
+  params.fanout = 16.0;
+  params.fill = 0.5;
+  params.buffer_size = 0.0;
+
+  for (double error : {16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0}) {
+    FitingTreeConfig config;
+    config.error = error;
+    config.buffer_size = 0;
+    auto tree = FitingTree<int64_t>::Create(*keys, config);
+    const Stats stats = runner.CollectReps([&] {
+      return TimedLoopNsPerOp(probes->size(), [&](size_t i) {
+        return tree->Contains((*probes)[i]) ? uint64_t{1} : uint64_t{0};
+      });
+    });
+    const auto se = static_cast<double>(tree->SegmentCount());
+    runner.Report(
+        {{"kind", "model_vs_measured"},
+         {"error", TablePrinter::Fmt(error, 0)}},
+        stats,
+        {{"calibrated_c_ns", params.cache_miss_ns},
+         {"est_latency_ns", EstimateLookupLatencyNs(error, se, params)},
+         {"est_size_KB", EstimateIndexSizeBytes(se, params) / 1024.0},
+         {"meas_size_KB",
+          static_cast<double>(tree->IndexSizeBytes()) / 1024.0}});
+  }
+
+  // Selector demos: the timed body is the selector itself (the curve is
+  // learned once outside the timed region, as a DBA would).
+  const std::vector<double> candidates{16.0, 64.0, 256.0, 1024.0, 4096.0,
+                                       16384.0};
+  const auto curve = LearnSegmentCurve<int64_t>(*keys, candidates);
+
+  {
+    std::optional<ErrorPick> pick;
+    const Stats stats = runner.CollectReps([&] {
+      return TimedLoopNsPerOp(1, [&](size_t) {
+        pick = PickErrorForLatency(curve, params, 1000.0, candidates);
+        return pick.has_value() ? uint64_t{1} : uint64_t{0};
+      });
+    });
+    if (pick.has_value()) {
+      runner.Report({{"kind", "selector"}, {"error", "latency_sla_1000ns"}},
+                    stats,
+                    {{"picked_error", pick->error},
+                     {"est_latency_ns", pick->est_latency_ns},
+                     {"est_size_KB", pick->est_size_bytes / 1024.0}});
+    }
+  }
+  {
+    std::optional<ErrorPick> pick;
+    const Stats stats = runner.CollectReps([&] {
+      return TimedLoopNsPerOp(1, [&](size_t) {
+        pick = PickErrorForSpace(curve, params, 256.0 * 1024, candidates);
+        return pick.has_value() ? uint64_t{1} : uint64_t{0};
+      });
+    });
+    if (pick.has_value()) {
+      runner.Report({{"kind", "selector"}, {"error", "space_budget_256KB"}},
+                    stats,
+                    {{"picked_error", pick->error},
+                     {"est_latency_ns", pick->est_latency_ns},
+                     {"est_size_KB", pick->est_size_bytes / 1024.0}});
+    }
+  }
+}
+
+FITREE_REGISTER_EXPERIMENT(
+    "fig10_costmodel",
+    "Fig 10: cost-model accuracy on Weblogs + error selectors", RunFig10);
+
+}  // namespace
+}  // namespace fitree::bench

@@ -1,0 +1,79 @@
+// Figure 11: data-size scalability on Weblogs.
+//
+// Lookup latency across scale factors with error = page size = 100 (the
+// paper's optimum for this dataset). Expected shape: the three tree-based
+// methods grow slowly (log_b n) and track each other, binary search grows
+// fastest (log2 n), and FITing-Tree stays within a whisker of the full
+// index while using a vanishing fraction of its memory (also reported).
+
+#include <span>
+#include <string>
+
+#include "baselines/binary_search_index.h"
+#include "baselines/full_index.h"
+#include "baselines/paged_index.h"
+#include "bench/harness/registry.h"
+#include "bench/harness/runner.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+
+namespace fitree::bench {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+void RunFig11(Runner& runner) {
+  const size_t base = ScaledN(1000000);
+  const size_t probes_n = ScaledN(200000);
+
+  for (size_t scale : {1u, 2u, 4u, 8u, 16u}) {
+    const size_t n = base * scale;
+    const std::string dataset_key = "real/Weblogs/" + std::to_string(n) + "/1";
+    const auto keys =
+        MemoKeys(dataset_key, [&] { return datasets::Weblogs(n, 1); });
+    const auto probes = MemoProbes(dataset_key, *keys, probes_n,
+                                   workloads::Access::kUniform, 0.0, 3);
+
+    FitingTreeConfig fconfig;
+    fconfig.error = 100.0;
+    fconfig.buffer_size = 0;
+    auto fiting = FitingTree<int64_t>::Create(*keys, fconfig);
+    PagedIndexConfig pconfig;
+    pconfig.page_size = 100;
+    pconfig.buffer_size = 0;
+    auto paged = PagedIndex<int64_t>::Create(*keys, pconfig);
+    FullIndex<int64_t> full{std::span<const int64_t>(*keys)};
+    BinarySearchIndex<int64_t> binary{std::span<const int64_t>(*keys)};
+
+    const auto measure = [&](auto& index) {
+      return runner.CollectReps([&] {
+        return TimedLoopNsPerOp(probes->size(), [&](size_t i) {
+          return index.Contains((*probes)[i]) ? uint64_t{1} : uint64_t{0};
+        });
+      });
+    };
+
+    const auto report = [&](const char* method, const Stats& stats,
+                            double index_mb) {
+      runner.Report({{"scale", std::to_string(scale)},
+                     {"n", std::to_string(n)},
+                     {"method", method}},
+                    stats, {{"index_MB", index_mb}});
+    };
+
+    report("FITing-Tree", measure(*fiting),
+           static_cast<double>(fiting->IndexSizeBytes()) / kMB);
+    report("Fixed", measure(*paged),
+           static_cast<double>(paged->IndexSizeBytes()) / kMB);
+    report("Full", measure(full),
+           static_cast<double>(full.IndexSizeBytes()) / kMB);
+    report("Binary", measure(binary), 0.0);
+  }
+}
+
+FITREE_REGISTER_EXPERIMENT(
+    "fig11_scalability",
+    "Fig 11: data-size scalability on Weblogs (error=page=100)", RunFig11);
+
+}  // namespace
+}  // namespace fitree::bench

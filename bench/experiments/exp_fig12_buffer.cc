@@ -1,0 +1,68 @@
+// Figure 12 (appendix): insert throughput as a function of the per-segment
+// buffer size, on Weblogs with error = 20000.
+//
+// Each repetition rebuilds the tree and replays the same insert stream
+// (fresh state per rep, so no warmup rep); the post-insert lookup latency
+// and merge count ride along as metrics from the last repetition.
+//
+// Expected shape: throughput rises with the buffer size (fewer
+// merge-and-resegment events), approaching a plateau — the DBA's
+// read-vs-write-optimized dial (paper Appendix A.2).
+
+#include <memory>
+#include <string>
+
+#include "bench/harness/registry.h"
+#include "bench/harness/runner.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+
+namespace fitree::bench {
+namespace {
+
+void RunFig12(Runner& runner) {
+  const size_t n = ScaledN(1000000);
+  // Small buffers at error=20000 merge ~hundred-thousand-key segments
+  // every few inserts (that is the point of the figure); keep the insert
+  // count modest so the worst cell finishes in seconds.
+  const size_t inserts_n = ScaledN(60000);
+  const double error = 20000.0;
+  const std::string dataset_key = "real/Weblogs/" + std::to_string(n) + "/1";
+  const auto keys =
+      MemoKeys(dataset_key, [&] { return datasets::Weblogs(n, 1); });
+  const auto inserts = MemoInserts(dataset_key, *keys, inserts_n, 2);
+  const auto probes = MemoProbes(dataset_key, *keys, 100000,
+                                 workloads::Access::kUniform, 0.0, 3);
+
+  for (size_t buffer : {10u, 100u, 1000u, 10000u}) {
+    std::unique_ptr<FitingTree<int64_t>> tree;
+    const Stats stats = runner.CollectReps([&] {
+      FitingTreeConfig config;
+      config.error = error;
+      config.buffer_size = buffer;
+      tree = FitingTree<int64_t>::Create(*keys, config);
+      return TimedLoopNsPerOp(inserts->size(), [&](size_t i) {
+        tree->Insert((*inserts)[i]);
+        return uint64_t{1};
+      });
+    }, /*warmup=*/false);
+
+    // Larger buffers trade read latency for write throughput; report both.
+    const double lookup_ns = TimedLoopNsPerOp(probes->size(), [&](size_t i) {
+      return tree->Contains((*probes)[i]) ? uint64_t{1} : uint64_t{0};
+    });
+    runner.Report(
+        {{"buffer_size", std::to_string(buffer)}}, stats,
+        {{"insert_Mops", MopsFromNsPerOp(stats.p50)},
+         {"segment_merges", static_cast<double>(tree->stats().segment_merges)},
+         {"lookup_ns", lookup_ns}});
+  }
+}
+
+FITREE_REGISTER_EXPERIMENT(
+    "fig12_buffer",
+    "Fig 12: insert throughput vs per-segment buffer size (Weblogs)",
+    RunFig12);
+
+}  // namespace
+}  // namespace fitree::bench

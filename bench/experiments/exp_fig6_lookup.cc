@@ -1,0 +1,117 @@
+// Figure 6 (a, b, c): lookup latency vs. index size.
+//
+// For each dataset (Weblogs, IoT, Maps) this sweeps the FITing-Tree error
+// threshold and the fixed-paging page size, and reports one record per
+// method/parameter point: index size (MB) against lookup latency (ns/op).
+// The Full (dense) index is a single point and binary search is the
+// zero-space reference, exactly as in the paper's plots.
+//
+// Expected shape (paper Sec 7.1.2): FITing-Tree dominates fixed paging at
+// every size, matches the full index's latency at a small fraction of its
+// size, and both paged methods converge to binary search as the index
+// shrinks to a handful of entries.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baselines/binary_search_index.h"
+#include "baselines/full_index.h"
+#include "baselines/paged_index.h"
+#include "bench/harness/registry.h"
+#include "bench/harness/runner.h"
+#include "common/table_printer.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+
+namespace fitree::bench {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+void RunFig6(Runner& runner) {
+  const size_t n = ScaledN(8000000);
+  const size_t probes_n = ScaledN(300000);
+  // The paper reports per-thread latency; FITREE_BENCH_THREADS > 1 shares
+  // each read-only index among that many lookup threads.
+  const int threads = GetEnvInt("FITREE_BENCH_THREADS", 1);
+
+  for (auto which : {datasets::RealWorld::kWeblogs, datasets::RealWorld::kIot,
+                     datasets::RealWorld::kMaps}) {
+    const std::string dataset = datasets::Name(which);
+    const std::string dataset_key =
+        "real/" + dataset + '/' + std::to_string(n) + "/42";
+    const auto keys =
+        MemoKeys(dataset_key, [&] { return datasets::Generate(which, n, 42); });
+    const auto probes = MemoProbes(dataset_key, *keys, probes_n,
+                                   workloads::Access::kUniform,
+                                   /*absent_fraction=*/0.0, 43);
+
+    const auto measure = [&](auto& index) {
+      return runner.CollectReps([&] {
+        return TimedLoopNsPerOpParallel(probes->size(), threads, [&](size_t i) {
+          return index.Contains((*probes)[i]) ? uint64_t{1} : uint64_t{0};
+        });
+      });
+    };
+
+    // FITing-Tree error sweep (read-only: no insert buffers, as in the
+    // paper's lookup experiment).
+    for (double error : {16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+                         262144.0}) {
+      FitingTreeConfig config;
+      config.error = error;
+      config.buffer_size = 0;
+      auto tree = FitingTree<int64_t>::Create(*keys, config);
+      const Stats stats = measure(*tree);
+      runner.Report({{"dataset", dataset},
+                     {"method", "FITing-Tree"},
+                     {"param", "e=" + TablePrinter::Fmt(error, 0)}},
+                    stats,
+                    {{"index_size_MB",
+                      static_cast<double>(tree->IndexSizeBytes()) / kMB}});
+    }
+
+    // Fixed-size paging sweep over the same granularities.
+    for (size_t page : {16u, 64u, 256u, 1024u, 4096u, 16384u, 65536u,
+                        262144u}) {
+      PagedIndexConfig config;
+      config.page_size = page;
+      config.buffer_size = 0;
+      auto index = PagedIndex<int64_t>::Create(*keys, config);
+      const Stats stats = measure(*index);
+      runner.Report({{"dataset", dataset},
+                     {"method", "Fixed"},
+                     {"param", "page=" + std::to_string(page)}},
+                    stats,
+                    {{"index_size_MB",
+                      static_cast<double>(index->IndexSizeBytes()) / kMB}});
+    }
+
+    // Full (dense) index: one point.
+    {
+      FullIndex<int64_t> full{std::span<const int64_t>(*keys)};
+      const Stats stats = measure(full);
+      runner.Report({{"dataset", dataset}, {"method", "Full"}, {"param", "-"}},
+                    stats,
+                    {{"index_size_MB",
+                      static_cast<double>(full.IndexSizeBytes()) / kMB}});
+    }
+
+    // Binary search: zero space.
+    {
+      BinarySearchIndex<int64_t> binary{std::span<const int64_t>(*keys)};
+      const Stats stats = measure(binary);
+      runner.Report(
+          {{"dataset", dataset}, {"method", "Binary"}, {"param", "-"}}, stats,
+          {{"index_size_MB", 0.0}});
+    }
+  }
+}
+
+FITREE_REGISTER_EXPERIMENT(
+    "fig6_lookup",
+    "Fig 6: lookup latency vs index size (Weblogs/IoT/Maps)", RunFig6);
+
+}  // namespace
+}  // namespace fitree::bench

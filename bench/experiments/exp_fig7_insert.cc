@@ -1,0 +1,89 @@
+// Figure 7 (a, b, c): insert throughput vs. error threshold.
+//
+// Bulk-loads each dataset, then times a stream of inserts drawn from the
+// same distribution. FITing-Tree uses a buffer of error/2 (paper Sec
+// 7.1.3); the Fixed baseline uses page = error with a half-page buffer; the
+// Full index inserts straight into its B+ tree. Every repetition rebuilds
+// the structure so each timed pass inserts into identical state (hence no
+// warmup rep).
+//
+// Expected shape: Full is fastest (no page splits); FITing-Tree is
+// comparable to Fixed, and can beat it at small errors where frequent
+// resegmentation stays cheap (paper Sec 7.1.3).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baselines/full_index.h"
+#include "baselines/paged_index.h"
+#include "bench/harness/registry.h"
+#include "bench/harness/runner.h"
+#include "common/table_printer.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+
+namespace fitree::bench {
+namespace {
+
+void RunFig7(Runner& runner) {
+  const size_t n = ScaledN(1000000);
+  const size_t inserts_n = ScaledN(500000);
+
+  for (auto which : {datasets::RealWorld::kWeblogs, datasets::RealWorld::kIot,
+                     datasets::RealWorld::kMaps}) {
+    const std::string dataset = datasets::Name(which);
+    const std::string dataset_key =
+        "real/" + dataset + '/' + std::to_string(n) + "/7";
+    const auto keys =
+        MemoKeys(dataset_key, [&] { return datasets::Generate(which, n, 7); });
+    const auto inserts = MemoInserts(dataset_key, *keys, inserts_n, 8);
+
+    const auto report = [&](const char* method, double error,
+                            const Stats& stats) {
+      runner.Report({{"dataset", dataset},
+                     {"method", method},
+                     {"error", TablePrinter::Fmt(error, 0)}},
+                    stats, {{"insert_Mops", MopsFromNsPerOp(stats.p50)}});
+    };
+
+    for (double error : {16.0, 64.0, 256.0, 1024.0}) {
+      // FITing-Tree with buffer = error/2 (the config default).
+      report("FITing-Tree", error, runner.CollectReps([&] {
+        FitingTreeConfig config;
+        config.error = error;
+        auto tree = FitingTree<int64_t>::Create(*keys, config);
+        return TimedLoopNsPerOp(inserts->size(), [&](size_t i) {
+          tree->Insert((*inserts)[i]);
+          return uint64_t{1};
+        });
+      }, /*warmup=*/false));
+
+      // Fixed paging with page = error, buffer = page/2.
+      report("Fixed", error, runner.CollectReps([&] {
+        PagedIndexConfig config;
+        config.page_size = static_cast<size_t>(error);
+        auto paged = PagedIndex<int64_t>::Create(*keys, config);
+        return TimedLoopNsPerOp(inserts->size(), [&](size_t i) {
+          paged->Insert((*inserts)[i]);
+          return uint64_t{1};
+        });
+      }, /*warmup=*/false));
+
+      // Full index: straight into the B+ tree.
+      report("Full", error, runner.CollectReps([&] {
+        FullIndex<int64_t> full{std::span<const int64_t>(*keys)};
+        return TimedLoopNsPerOp(inserts->size(), [&](size_t i) {
+          full.Insert((*inserts)[i]);
+          return uint64_t{1};
+        });
+      }, /*warmup=*/false));
+    }
+  }
+}
+
+FITREE_REGISTER_EXPERIMENT(
+    "fig7_insert", "Fig 7: insert throughput vs error threshold", RunFig7);
+
+}  // namespace
+}  // namespace fitree::bench

@@ -1,0 +1,59 @@
+// Figure 8: the non-linearity ratio of each dataset across error scales.
+//
+// ratio(e) = S_e * (e + 1) / |D|, i.e. the observed segment count relative
+// to the worst case at that scale (Theorem 3.1). The ratio itself is
+// analytic; the timed body is the segmentation pass that produces it, so
+// the record's ns/op is segmentation cost per key at that error. Expected
+// shape: IoT shows one strong bump (daily periodicity), Weblogs several
+// overlapping bumps, Maps stays near-linear until very large scales.
+
+#include <string>
+#include <vector>
+
+#include "bench/harness/registry.h"
+#include "bench/harness/runner.h"
+#include "common/table_printer.h"
+#include "core/non_linearity.h"
+#include "datasets/datasets.h"
+
+namespace fitree::bench {
+namespace {
+
+void RunFig8(Runner& runner) {
+  const size_t n = ScaledN(2000000);
+  const struct {
+    const char* name;
+    uint64_t seed;
+    datasets::RealWorld which;
+  } sets[] = {{"Weblogs", 1, datasets::RealWorld::kWeblogs},
+              {"IoT", 2, datasets::RealWorld::kIot},
+              {"Maps", 3, datasets::RealWorld::kMaps}};
+
+  for (const auto& set : sets) {
+    const std::string dataset_key = std::string("real/") + set.name + '/' +
+                                    std::to_string(n) + '/' +
+                                    std::to_string(set.seed);
+    const auto keys = MemoKeys(dataset_key, [&] {
+      return datasets::Generate(set.which, n, set.seed);
+    });
+    for (double error = 10.0; error <= 1e7; error *= 10.0) {
+      double ratio = 0.0;
+      const Stats stats = runner.CollectReps([&] {
+        Timer timer;
+        ratio = NonLinearityRatio<int64_t>(*keys, error);
+        return static_cast<double>(timer.ElapsedNs()) /
+               static_cast<double>(keys->size());
+      });
+      runner.Report({{"dataset", set.name},
+                     {"error", TablePrinter::Fmt(error, 0)}},
+                    stats, {{"non_linearity_ratio", ratio}});
+    }
+  }
+}
+
+FITREE_REGISTER_EXPERIMENT(
+    "fig8_nonlinearity",
+    "Fig 8: non-linearity ratio across error scales", RunFig8);
+
+}  // namespace
+}  // namespace fitree::bench

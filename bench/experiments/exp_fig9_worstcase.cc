@@ -1,0 +1,69 @@
+// Figure 9: worst-case (step-function) data.
+//
+// 9b is the index size as a function of the error threshold; the timed
+// body is the FITing-Tree build (segmentation + bulk load), reported as
+// ns per key. Expected shape: below the step size FITing-Tree matches the
+// fixed-paging size (one segment per step, i.e. per `error` keys) while
+// staying below the full index; once the error passes the step size the
+// whole dataset collapses into a single segment and the index size drops
+// by orders of magnitude.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "baselines/full_index.h"
+#include "baselines/paged_index.h"
+#include "bench/harness/registry.h"
+#include "bench/harness/runner.h"
+#include "common/table_printer.h"
+#include "core/fiting_tree.h"
+#include "datasets/datasets.h"
+
+namespace fitree::bench {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+void RunFig9(Runner& runner) {
+  const size_t n = ScaledN(1000000);
+  const size_t step = 100;
+  const auto keys =
+      MemoKeys("step/" + std::to_string(n) + '/' + std::to_string(step),
+               [&] { return datasets::Step(n, step); });
+
+  FullIndex<int64_t> full{std::span<const int64_t>(*keys)};
+  const double full_mb = static_cast<double>(full.IndexSizeBytes()) / kMB;
+
+  for (double error = 10.0; error <= 1e6; error *= 10.0) {
+    std::unique_ptr<FitingTree<int64_t>> fiting;
+    const Stats stats = runner.CollectReps([&] {
+      FitingTreeConfig config;
+      config.error = error;
+      config.buffer_size = 0;
+      Timer timer;
+      fiting = FitingTree<int64_t>::Create(*keys, config);
+      return static_cast<double>(timer.ElapsedNs()) /
+             static_cast<double>(keys->size());
+    }, /*warmup=*/false);
+
+    PagedIndexConfig pconfig;
+    pconfig.page_size = static_cast<size_t>(error);
+    auto paged = PagedIndex<int64_t>::Create(*keys, pconfig);
+
+    runner.Report(
+        {{"error", TablePrinter::Fmt(error, 0)}}, stats,
+        {{"FITing_MB", static_cast<double>(fiting->IndexSizeBytes()) / kMB},
+         {"FITing_segments", static_cast<double>(fiting->SegmentCount())},
+         {"Fixed_MB", static_cast<double>(paged->IndexSizeBytes()) / kMB},
+         {"Full_MB", full_mb}});
+  }
+}
+
+FITREE_REGISTER_EXPERIMENT(
+    "fig9_worstcase",
+    "Fig 9b: worst-case step data, index size vs error (build ns/key)",
+    RunFig9);
+
+}  // namespace
+}  // namespace fitree::bench

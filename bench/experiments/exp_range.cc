@@ -1,0 +1,76 @@
+// Range queries (paper Section 4.2 — discussed but not plotted).
+//
+// A range query finds its start with a point lookup and then scans
+// sequentially, so at low selectivity the index dominates cost and at high
+// selectivity the scan does. This sweeps selectivity and compares
+// FITing-Tree against binary search and (for count-only queries) the
+// static variant's O(log) rank subtraction.
+
+#include <span>
+#include <string>
+
+#include "baselines/binary_search_index.h"
+#include "bench/harness/registry.h"
+#include "bench/harness/runner.h"
+#include "common/table_printer.h"
+#include "core/fiting_tree.h"
+#include "core/static_fiting_tree.h"
+#include "datasets/datasets.h"
+
+namespace fitree::bench {
+namespace {
+
+void RunRange(Runner& runner) {
+  const size_t n = ScaledN(4000000);
+  const std::string dataset_key = "real/Weblogs/" + std::to_string(n) + "/1";
+  const auto keys =
+      MemoKeys(dataset_key, [&] { return datasets::Weblogs(n, 1); });
+
+  FitingTreeConfig config;
+  config.error = 256.0;
+  config.buffer_size = 0;
+  auto fiting = FitingTree<int64_t>::Create(*keys, config);
+  auto fixed = StaticFitingTree<int64_t>::Create(*keys, 256.0);
+  BinarySearchIndex<int64_t> binary{std::span<const int64_t>(*keys)};
+
+  for (double selectivity : {0.00001, 0.0001, 0.001, 0.01}) {
+    const auto queries =
+        workloads::MakeRangeQueries<int64_t>(*keys, 2000, selectivity, 7);
+
+    const auto report = [&](const char* method, const Stats& stats) {
+      runner.Report({{"selectivity", TablePrinter::Fmt(selectivity, 5)},
+                     {"method", method}},
+                    stats);
+    };
+
+    report("FITing_scan", runner.CollectReps([&] {
+      return TimedLoopNsPerOp(queries.size(), [&](size_t i) {
+        uint64_t count = 0;
+        fiting->ScanRange(queries[i].lo, queries[i].hi,
+                          [&count](int64_t) { ++count; });
+        return count;
+      });
+    }));
+    report("Binary_scan", runner.CollectReps([&] {
+      return TimedLoopNsPerOp(queries.size(), [&](size_t i) {
+        uint64_t count = 0;
+        binary.ScanRange(queries[i].lo, queries[i].hi,
+                         [&count](int64_t) { ++count; });
+        return count;
+      });
+    }));
+    // Count-only ranges collapse to two rank lookups on the static variant.
+    report("Static_count", runner.CollectReps([&] {
+      return TimedLoopNsPerOp(queries.size(), [&](size_t i) {
+        return static_cast<uint64_t>(
+            fixed->RangeCount(queries[i].lo, queries[i].hi));
+      });
+    }));
+  }
+}
+
+FITREE_REGISTER_EXPERIMENT(
+    "range", "Sec 4.2: range scans across selectivities (Weblogs)", RunRange);
+
+}  // namespace
+}  // namespace fitree::bench

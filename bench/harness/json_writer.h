@@ -1,0 +1,357 @@
+// Minimal JSON document model for the benchmark harness.
+//
+// BENCH_results.json is written through this value type, and the unit tests
+// parse it back to prove the round trip, so the serialization has no
+// external dependency and numbers are emitted in shortest-round-trip form
+// (std::to_chars), i.e. Parse(Dump(v)) reproduces v bit-for-bit for every
+// finite double.
+//
+// Supported: null, bool, finite numbers, strings (with \uXXXX escapes for
+// control characters; input escapes including surrogate-free \uXXXX are
+// decoded to UTF-8), arrays, and objects with preserved key order. This is
+// intentionally a subset — enough for result records, not a general JSON
+// library.
+
+#ifndef FITREE_BENCH_HARNESS_JSON_WRITER_H_
+#define FITREE_BENCH_HARNESS_JSON_WRITER_H_
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fitree::bench {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT(runtime/explicit)
+  Json(double d) : type_(Type::kNumber), number_(d) {}    // NOLINT(runtime/explicit)
+  Json(int v) : Json(static_cast<double>(v)) {}           // NOLINT(runtime/explicit)
+  Json(int64_t v) : Json(static_cast<double>(v)) {}       // NOLINT(runtime/explicit)
+  Json(uint64_t v) : Json(static_cast<double>(v)) {}      // NOLINT(runtime/explicit)
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}           // NOLINT(runtime/explicit)
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Json>& AsArray() const { return array_; }
+  const std::vector<std::pair<std::string, Json>>& AsObject() const {
+    return members_;
+  }
+
+  void Push(Json v) { array_.push_back(std::move(v)); }
+  void Set(std::string key, Json v) {
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  // First member named `key`, or nullptr.
+  const Json* Find(std::string_view key) const {
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  std::string Dump(int indent = 0) const {
+    std::string out;
+    DumpTo(out, indent, 0);
+    if (indent > 0) out.push_back('\n');
+    return out;
+  }
+
+  static std::optional<Json> Parse(std::string_view text) {
+    Parser p{text, 0};
+    p.SkipWs();
+    auto v = p.Value();
+    if (!v.has_value()) return std::nullopt;
+    p.SkipWs();
+    if (p.pos != text.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  struct Parser {
+    std::string_view text;
+    size_t pos;
+
+    bool AtEnd() const { return pos >= text.size(); }
+    char Peek() const { return text[pos]; }
+    void SkipWs() {
+      while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                          Peek() == '\r')) {
+        ++pos;
+      }
+    }
+    bool Consume(char c) {
+      if (AtEnd() || Peek() != c) return false;
+      ++pos;
+      return true;
+    }
+    bool ConsumeWord(std::string_view w) {
+      if (text.substr(pos, w.size()) != w) return false;
+      pos += w.size();
+      return true;
+    }
+
+    std::optional<Json> Value() {
+      SkipWs();
+      if (AtEnd()) return std::nullopt;
+      switch (Peek()) {
+        case '{':
+          return ObjectValue();
+        case '[':
+          return ArrayValue();
+        case '"': {
+          auto s = StringValue();
+          if (!s.has_value()) return std::nullopt;
+          return Json(*std::move(s));
+        }
+        case 't':
+          return ConsumeWord("true") ? std::optional<Json>(Json(true))
+                                     : std::nullopt;
+        case 'f':
+          return ConsumeWord("false") ? std::optional<Json>(Json(false))
+                                      : std::nullopt;
+        case 'n':
+          return ConsumeWord("null") ? std::optional<Json>(Json())
+                                     : std::nullopt;
+        default:
+          return NumberValue();
+      }
+    }
+
+    std::optional<Json> ObjectValue() {
+      if (!Consume('{')) return std::nullopt;
+      Json obj = Json::Object();
+      SkipWs();
+      if (Consume('}')) return obj;
+      while (true) {
+        SkipWs();
+        auto key = StringValue();
+        if (!key.has_value()) return std::nullopt;
+        SkipWs();
+        if (!Consume(':')) return std::nullopt;
+        auto val = Value();
+        if (!val.has_value()) return std::nullopt;
+        obj.Set(*std::move(key), *std::move(val));
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume('}')) return obj;
+        return std::nullopt;
+      }
+    }
+
+    std::optional<Json> ArrayValue() {
+      if (!Consume('[')) return std::nullopt;
+      Json arr = Json::Array();
+      SkipWs();
+      if (Consume(']')) return arr;
+      while (true) {
+        auto val = Value();
+        if (!val.has_value()) return std::nullopt;
+        arr.Push(*std::move(val));
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume(']')) return arr;
+        return std::nullopt;
+      }
+    }
+
+    std::optional<std::string> StringValue() {
+      if (!Consume('"')) return std::nullopt;
+      std::string out;
+      while (!AtEnd()) {
+        const char c = text[pos++];
+        if (c == '"') return out;
+        if (c != '\\') {
+          out.push_back(c);
+          continue;
+        }
+        if (AtEnd()) return std::nullopt;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            AppendUtf8(out, code);
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+      }
+      return std::nullopt;  // unterminated
+    }
+
+    std::optional<Json> NumberValue() {
+      const size_t start = pos;
+      if (!AtEnd() && (Peek() == '-' || Peek() == '+')) ++pos;
+      while (!AtEnd() && ((Peek() >= '0' && Peek() <= '9') || Peek() == '.' ||
+                          Peek() == 'e' || Peek() == 'E' || Peek() == '-' ||
+                          Peek() == '+')) {
+        ++pos;
+      }
+      double value = 0.0;
+      const auto [end, ec] =
+          std::from_chars(text.data() + start, text.data() + pos, value);
+      if (ec != std::errc() || end != text.data() + pos || pos == start) {
+        return std::nullopt;
+      }
+      return Json(value);
+    }
+
+    static void AppendUtf8(std::string& out, unsigned code) {
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      }
+    }
+  };
+
+  void DumpTo(std::string& out, int indent, int depth) const {
+    switch (type_) {
+      case Type::kNull:
+        out += "null";
+        return;
+      case Type::kBool:
+        out += bool_ ? "true" : "false";
+        return;
+      case Type::kNumber: {
+        if (!std::isfinite(number_)) {
+          out += "null";  // JSON has no inf/nan
+          return;
+        }
+        char buf[32];
+        const auto [end, ec] =
+            std::to_chars(buf, buf + sizeof(buf), number_);
+        out.append(buf, ec == std::errc() ? end : buf);
+        return;
+      }
+      case Type::kString:
+        AppendEscaped(out, string_);
+        return;
+      case Type::kArray: {
+        if (array_.empty()) {
+          out += "[]";
+          return;
+        }
+        out.push_back('[');
+        for (size_t i = 0; i < array_.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          NewlineIndent(out, indent, depth + 1);
+          array_[i].DumpTo(out, indent, depth + 1);
+        }
+        NewlineIndent(out, indent, depth);
+        out.push_back(']');
+        return;
+      }
+      case Type::kObject: {
+        if (members_.empty()) {
+          out += "{}";
+          return;
+        }
+        out.push_back('{');
+        for (size_t i = 0; i < members_.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          NewlineIndent(out, indent, depth + 1);
+          AppendEscaped(out, members_[i].first);
+          out.push_back(':');
+          if (indent > 0) out.push_back(' ');
+          members_[i].second.DumpTo(out, indent, depth + 1);
+        }
+        NewlineIndent(out, indent, depth);
+        out.push_back('}');
+        return;
+      }
+    }
+  }
+
+  static void NewlineIndent(std::string& out, int indent, int depth) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<size_t>(indent * depth), ' ');
+  }
+
+  static void AppendEscaped(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    out.push_back('"');
+  }
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace fitree::bench
+
+#endif  // FITREE_BENCH_HARNESS_JSON_WRITER_H_

@@ -1,0 +1,155 @@
+// fitree_bench: the unified benchmark driver.
+//
+// Every former per-figure binary is a registered experiment (see
+// bench/experiments/); this driver lists, filters, and runs them with a
+// shared repetition/statistics engine and writes one machine-readable
+// BENCH_results.json next to the paper-style tables.
+//
+//   fitree_bench --list                 # names + titles
+//   fitree_bench --filter=fig6,range    # substring match, comma = OR
+//   fitree_bench --reps=3 --json=BENCH_results.json
+//
+// Exit codes: 0 success, 1 usage error, 2 oracle-validation failure
+// (experiments abort through fitree::bench::Die).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness/registry.h"
+#include "bench/harness/runner.h"
+
+namespace {
+
+struct Options {
+  bool list = false;
+  bool help = false;
+  std::string filter;
+  int reps = 3;
+  std::string json_path;
+};
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: fitree_bench [--list] [--filter=NAMES] [--reps=N] "
+               "[--json=PATH]\n"
+               "\n"
+               "  --list          print registered experiments and exit\n"
+               "  --filter=NAMES  run experiments whose name contains any\n"
+               "                  comma-separated NAMES substring\n"
+               "  --reps=N        timed repetitions per measured cell\n"
+               "                  (default 3; one extra warmup rep runs\n"
+               "                  when N > 1)\n"
+               "  --json=PATH     write all result records + environment\n"
+               "                  metadata as JSON (schema: EXPERIMENTS.md)\n"
+               "\n"
+               "Scale and knobs come from FITREE_BENCH_* environment\n"
+               "variables (see EXPERIMENTS.md).\n");
+}
+
+bool ParseArgs(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* flag) -> const char* {
+      const size_t len = std::strlen(flag);
+      if (arg.rfind(flag, 0) == 0 && arg.size() > len && arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (const char* v = value_of("--filter")) {
+      options.filter = v;
+    } else if (const char* v = value_of("--json")) {
+      options.json_path = v;
+    } else if (const char* v = value_of("--reps")) {
+      options.reps = std::atoi(v);
+      if (options.reps < 1) {
+        std::fprintf(stderr, "fitree_bench: --reps must be >= 1\n");
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "fitree_bench: unknown argument '%s'\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using fitree::bench::Registry;
+  using fitree::bench::ResultRecord;
+  using fitree::bench::Runner;
+
+  Options options;
+  if (!ParseArgs(argc, argv, options)) {
+    PrintUsage(stderr);
+    return 1;
+  }
+  if (options.help) {
+    PrintUsage(stdout);
+    return 0;
+  }
+  if (options.list) {
+    for (const auto* e : Registry::Instance().All()) {
+      std::printf("%-24s %s\n", e->name.c_str(), e->title.c_str());
+    }
+    return 0;
+  }
+
+  const auto matched = Registry::Instance().Match(options.filter);
+  if (matched.empty()) {
+    std::fprintf(stderr, "fitree_bench: no experiment matches '%s'\n",
+                 options.filter.c_str());
+    return 1;
+  }
+
+  // Open the JSON sink before running anything: an unwritable path must
+  // fail in milliseconds, not after a multi-minute suite.
+  std::ofstream json_out;
+  if (!options.json_path.empty()) {
+    json_out.open(options.json_path);
+    if (!json_out) {
+      std::fprintf(stderr, "fitree_bench: cannot write %s\n",
+                   options.json_path.c_str());
+      return 1;
+    }
+  }
+
+  std::vector<ResultRecord> all_records;
+  for (const auto* e : matched) {
+    std::printf("\n=== %s: %s (reps=%d) ===\n", e->name.c_str(),
+                e->title.c_str(), options.reps);
+    std::fflush(stdout);
+    Runner runner(e->name, options.reps);
+    e->fn(runner);
+    runner.RenderTable(std::cout);
+    all_records.insert(all_records.end(), runner.records().begin(),
+                       runner.records().end());
+  }
+
+  std::printf("\n%zu experiment(s), %zu result record(s)\n", matched.size(),
+              all_records.size());
+
+  if (json_out.is_open()) {
+    const auto doc = fitree::bench::MakeResultsDocument(
+        fitree::bench::CaptureEnvironment(), options.reps, all_records);
+    json_out << doc.Dump(2);
+    if (!json_out) {
+      std::fprintf(stderr, "fitree_bench: failed writing %s\n",
+                   options.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", options.json_path.c_str());
+  }
+  return 0;
+}

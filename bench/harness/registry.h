@@ -1,0 +1,91 @@
+// Experiment registry for the unified fitree_bench binary.
+//
+// Each former bench binary registers one or more named experiments at
+// static-initialization time via FITREE_REGISTER_EXPERIMENT; main.cc lists,
+// filters, and runs them. Registration order across translation units is
+// unspecified, so the registry sorts by name — `fitree_bench --list` and a
+// full run are therefore stable across link orders.
+
+#ifndef FITREE_BENCH_HARNESS_REGISTRY_H_
+#define FITREE_BENCH_HARNESS_REGISTRY_H_
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fitree::bench {
+
+class Runner;
+
+struct Experiment {
+  std::string name;   // stable id, e.g. "fig6_lookup" (used by --filter)
+  std::string title;  // one-line description printed as the table header
+  void (*fn)(Runner&) = nullptr;
+};
+
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry registry;
+    return registry;
+  }
+
+  // Returns true so registration can initialize a namespace-scope bool.
+  bool Register(Experiment experiment) {
+    experiments_.push_back(std::move(experiment));
+    return true;
+  }
+
+  // All experiments, sorted by name.
+  std::vector<const Experiment*> All() const {
+    std::vector<const Experiment*> out;
+    out.reserve(experiments_.size());
+    for (const auto& e : experiments_) out.push_back(&e);
+    std::sort(out.begin(), out.end(),
+              [](const Experiment* a, const Experiment* b) {
+                return a->name < b->name;
+              });
+    return out;
+  }
+
+  // Experiments whose name contains any comma-separated term of `filter`
+  // as a substring (empty filter matches everything), sorted by name.
+  std::vector<const Experiment*> Match(std::string_view filter) const {
+    std::vector<std::string_view> terms;
+    size_t start = 0;
+    while (start <= filter.size()) {
+      const size_t comma = filter.find(',', start);
+      const size_t end = comma == std::string_view::npos ? filter.size() : comma;
+      if (end > start) terms.push_back(filter.substr(start, end - start));
+      if (comma == std::string_view::npos) break;
+      start = comma + 1;
+    }
+    std::vector<const Experiment*> out;
+    for (const Experiment* e : All()) {
+      if (terms.empty()) {
+        out.push_back(e);
+        continue;
+      }
+      for (const std::string_view term : terms) {
+        if (e->name.find(term) != std::string::npos) {
+          out.push_back(e);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+}  // namespace fitree::bench
+
+// Registers `fn` (void(Runner&)) under `name` at static-init time.
+#define FITREE_REGISTER_EXPERIMENT(name, title, fn)                       \
+  [[maybe_unused]] static const bool fitree_registered_##fn =             \
+      ::fitree::bench::Registry::Instance().Register({name, title, &fn})
+
+#endif  // FITREE_BENCH_HARNESS_REGISTRY_H_

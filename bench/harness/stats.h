@@ -1,0 +1,64 @@
+// Outlier-robust summary statistics over benchmark repetitions.
+//
+// Every registered experiment reports each measured cell as a Stats record
+// computed from `reps` independent repetition samples (ns/op per rep). The
+// percentiles use the nearest-rank method, so on small rep counts they are
+// actual observed samples rather than interpolated values: with 3 reps the
+// p50 is the median rep and the p99 is the slowest rep. `min` is the
+// noise-floor estimate (the least-disturbed rep) and is what bench_diff.py
+// compares by default at smoke scale.
+
+#ifndef FITREE_BENCH_HARNESS_STATS_H_
+#define FITREE_BENCH_HARNESS_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace fitree::bench {
+
+struct Stats {
+  int reps = 0;  // 0 means "no samples": the record carries metrics only
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double stddev = 0.0;
+
+  bool valid() const { return reps > 0; }
+
+  // Nearest-rank percentile of `sorted` (ascending), q in [0, 1].
+  static double Percentile(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+    const size_t index =
+        rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+    return sorted[std::min(index, sorted.size() - 1)];
+  }
+
+  static Stats From(std::vector<double> samples) {
+    Stats s;
+    if (samples.empty()) return s;
+    std::sort(samples.begin(), samples.end());
+    s.reps = static_cast<int>(samples.size());
+    s.min = samples.front();
+    s.max = samples.back();
+    double sum = 0.0;
+    for (const double v : samples) sum += v;
+    s.mean = sum / static_cast<double>(samples.size());
+    s.p50 = Percentile(samples, 0.5);
+    s.p99 = Percentile(samples, 0.99);
+    double sq = 0.0;
+    for (const double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = samples.size() > 1
+                   ? std::sqrt(sq / static_cast<double>(samples.size() - 1))
+                   : 0.0;
+    return s;
+  }
+};
+
+}  // namespace fitree::bench
+
+#endif  // FITREE_BENCH_HARNESS_STATS_H_

@@ -1,0 +1,7 @@
+#include "common/sink.h"
+
+namespace fitree {
+
+std::atomic<uint64_t> g_bench_sink{0};
+
+}  // namespace fitree

@@ -1,0 +1,35 @@
+// Dead-code-elimination sink shared by every measurement loop.
+//
+// The accumulator lives in common/sink.cc so the whole process shares ONE
+// definition. A `static` local in a header (the previous design) can give
+// each translation unit — or each dynamically linked component — its own
+// copy under some link setups, which both wastes a cache line per TU and
+// lets a sufficiently clever LTO pass prove a particular copy unobserved.
+
+#ifndef FITREE_COMMON_SINK_H_
+#define FITREE_COMMON_SINK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace fitree {
+
+// The single process-wide sink (defined in common/sink.cc). Atomic because
+// benchmark worker threads publish their sinks concurrently (relaxed:
+// ordering is irrelevant, the store just has to survive into the binary).
+extern std::atomic<uint64_t> g_bench_sink;
+
+// Folds `v` into the sink so the compiler cannot drop the loop that
+// produced it.
+inline void SinkValue(uint64_t v) {
+  g_bench_sink.fetch_add(v, std::memory_order_relaxed);
+}
+
+// Reads the accumulated sink (used by tests to assert the sink is shared).
+inline uint64_t SinkTotal() {
+  return g_bench_sink.load(std::memory_order_relaxed);
+}
+
+}  // namespace fitree
+
+#endif  // FITREE_COMMON_SINK_H_

@@ -1,0 +1,300 @@
+// Tests for the benchmark harness (bench/harness/): registry
+// registration/filtering, repetition collection, stats aggregation on
+// known samples, JSON round-trips of result records, the shared sink, the
+// dataset memo cache, and tools/bench_diff.py's threshold logic driven
+// through real fixture files.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness/json_writer.h"
+#include "bench/harness/registry.h"
+#include "bench/harness/runner.h"
+#include "bench/harness/stats.h"
+#include "common/sink.h"
+
+namespace fitree::bench {
+namespace {
+
+// --- registry -------------------------------------------------------------
+
+void DummyA(Runner&) {}
+void DummyB(Runner&) {}
+
+TEST(Registry, RegistersFiltersAndSorts) {
+  Registry registry;  // a private instance: the singleton belongs to fitree_bench
+  registry.Register({"zeta_lookup", "z", &DummyA});
+  registry.Register({"alpha_insert", "a", &DummyB});
+  registry.Register({"alpha_lookup", "a2", &DummyA});
+
+  const auto all = registry.All();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->name, "alpha_insert");
+  EXPECT_EQ(all[1]->name, "alpha_lookup");
+  EXPECT_EQ(all[2]->name, "zeta_lookup");
+
+  EXPECT_EQ(registry.Match("").size(), 3u);           // empty matches all
+  EXPECT_EQ(registry.Match("lookup").size(), 2u);     // substring
+  EXPECT_EQ(registry.Match("alpha").size(), 2u);
+  EXPECT_EQ(registry.Match("zeta,insert").size(), 2u);  // comma = OR
+  EXPECT_TRUE(registry.Match("nomatch").empty());
+
+  const auto matched = registry.Match("lookup");
+  EXPECT_EQ(matched[0]->name, "alpha_lookup");  // matches stay sorted
+  EXPECT_EQ(matched[1]->name, "zeta_lookup");
+}
+
+TEST(Registry, GlobalMacroRegistration) {
+  // The production experiments register into the singleton at static-init
+  // time; this test binary links none of them, so the singleton only holds
+  // what tests put there. Register one and find it.
+  const bool registered =
+      Registry::Instance().Register({"test_probe", "probe", &DummyA});
+  EXPECT_TRUE(registered);
+  EXPECT_FALSE(Registry::Instance().Match("test_probe").empty());
+}
+
+// --- runner repetitions ---------------------------------------------------
+
+TEST(Runner, CollectsRepsWithWarmup) {
+  Runner runner("exp", 3);
+  int calls = 0;
+  const Stats stats = runner.CollectReps([&] {
+    ++calls;
+    return static_cast<double>(calls);
+  });
+  EXPECT_EQ(calls, 4);  // 1 warmup + 3 measured
+  EXPECT_EQ(stats.reps, 3);
+  EXPECT_EQ(stats.min, 2.0);  // warmup sample (1.0) is discarded
+  EXPECT_EQ(stats.max, 4.0);
+}
+
+TEST(Runner, NoWarmupWhenSingleRepOrDisabled) {
+  Runner smoke("exp", 1);
+  int calls = 0;
+  (void)smoke.CollectReps([&] { ++calls; return 1.0; });
+  EXPECT_EQ(calls, 1);  // --reps=1: no warmup, fast CI smoke
+
+  Runner mutating("exp", 2);
+  calls = 0;
+  (void)mutating.CollectReps([&] { ++calls; return 1.0; }, /*warmup=*/false);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Runner, ReportAccumulatesRecords) {
+  Runner runner("exp", 1);
+  runner.Report({{"k", "v"}}, Stats::From({1.0}), {{"m", 2.0}});
+  runner.Report({{"k", "w"}}, Stats{});
+  ASSERT_EQ(runner.records().size(), 2u);
+  EXPECT_EQ(runner.records()[0].experiment, "exp");
+  EXPECT_TRUE(runner.records()[0].ns_per_op.valid());
+  EXPECT_FALSE(runner.records()[1].ns_per_op.valid());
+}
+
+// --- stats ----------------------------------------------------------------
+
+TEST(Stats, KnownSamples) {
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(i);  // unsorted on purpose
+  const Stats s = Stats::From(samples);
+  EXPECT_EQ(s.reps, 100);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);  // nearest rank: ceil(0.5*100) = 50th
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);  // ceil(0.99*100) = 99th
+  EXPECT_NEAR(s.stddev, 29.011, 0.01);
+}
+
+TEST(Stats, SmallRepCounts) {
+  const Stats s3 = Stats::From({30.0, 10.0, 20.0});
+  EXPECT_DOUBLE_EQ(s3.p50, 20.0);  // the median rep
+  EXPECT_DOUBLE_EQ(s3.p99, 30.0);  // the slowest rep
+  const Stats s1 = Stats::From({42.0});
+  EXPECT_DOUBLE_EQ(s1.p50, 42.0);
+  EXPECT_DOUBLE_EQ(s1.stddev, 0.0);
+  const Stats empty = Stats::From({});
+  EXPECT_FALSE(empty.valid());
+}
+
+// --- JSON -----------------------------------------------------------------
+
+TEST(Json, ParsePrimitivesAndStructure) {
+  auto v = Json::Parse(R"({"a": [1, 2.5, -3e2], "b": "x\ny", "c": true,
+                           "d": null})");
+  ASSERT_TRUE(v.has_value());
+  const Json* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->AsArray()[1].AsNumber(), 2.5);
+  EXPECT_DOUBLE_EQ(a->AsArray()[2].AsNumber(), -300.0);
+  EXPECT_EQ(v->Find("b")->AsString(), "x\ny");
+  EXPECT_TRUE(v->Find("c")->AsBool());
+  EXPECT_TRUE(v->Find("d")->is_null());
+
+  EXPECT_FALSE(Json::Parse("{").has_value());
+  EXPECT_FALSE(Json::Parse("[1,]").has_value());
+  EXPECT_FALSE(Json::Parse("1 trailing").has_value());
+}
+
+TEST(Json, DumpParsesBackIncludingAwkwardDoubles) {
+  Json obj = Json::Object();
+  obj.Set("tiny", Json(1.0 / 3.0));
+  obj.Set("big", Json(1.23456789e18));
+  obj.Set("text", Json(std::string("quote\" slash\\ tab\t")));
+  const auto parsed = Json::Parse(obj.Dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Find("tiny")->AsNumber(), 1.0 / 3.0);  // bit-exact
+  EXPECT_EQ(parsed->Find("big")->AsNumber(), 1.23456789e18);
+  EXPECT_EQ(parsed->Find("text")->AsString(), "quote\" slash\\ tab\t");
+}
+
+TEST(Json, ResultRecordRoundTrip) {
+  ResultRecord record;
+  record.experiment = "fig6_lookup";
+  record.params = {{"dataset", "Weblogs"}, {"method", "FITing-Tree"},
+                   {"param", "e=16"}};
+  record.ns_per_op = Stats::From({181.25, 179.5, 190.75});
+  record.metrics = {{"index_size_MB", 12.3456}, {"segments", 42.0}};
+
+  const std::string text = ResultRecordToJson(record).Dump(2);
+  const auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  const auto back = ResultRecordFromJson(*parsed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, record);
+}
+
+TEST(Json, MetricsOnlyRecordRoundTrip) {
+  ResultRecord record;
+  record.experiment = "disk";
+  record.params = {{"op", "file"}};
+  record.metrics = {{"file_MB", 3.25}};
+  const auto parsed = Json::Parse(ResultRecordToJson(record).Dump(0));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Find("ns_per_op"), nullptr);  // omitted when invalid
+  const auto back = ResultRecordFromJson(*parsed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, record);
+}
+
+// --- shared sink ----------------------------------------------------------
+
+TEST(Sink, SingleSharedDefinition) {
+  const uint64_t before = SinkTotal();
+  SinkValue(7);
+  SinkValue(5);
+  EXPECT_EQ(SinkTotal(), before + 12);  // one accumulator, not one per TU
+}
+
+// --- memo cache -----------------------------------------------------------
+
+TEST(Memo, ReturnsSameVectorForSameKey) {
+  int builds = 0;
+  const auto make = [&] {
+    ++builds;
+    return std::vector<int64_t>{1, 2, 3};
+  };
+  const auto a = MemoKeys("test/memo/a", make);
+  const auto b = MemoKeys("test/memo/a", make);
+  const auto c = MemoKeys("test/memo/b", make);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(builds, 2);
+}
+
+// --- bench_diff.py --------------------------------------------------------
+
+class BenchDiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::system("python3 --version > /dev/null 2>&1") != 0) {
+      GTEST_SKIP() << "python3 not available";
+    }
+  }
+
+  // Writes a results document with one record at `ns` ns/op.
+  std::string WriteDoc(const std::string& name, double ns) {
+    ResultRecord record;
+    record.experiment = "exp";
+    record.params = {{"k", "v"}};
+    record.ns_per_op = Stats::From({ns, ns * 1.01, ns * 1.02});
+    Json env = Json::Object();
+    env.Set("git_sha", Json("test"));
+    const Json doc = MakeResultsDocument(env, 3, {record});
+    const std::string path =
+        ::testing::TempDir() + "fitree_bench_diff_" + name + ".json";
+    std::ofstream out(path);
+    out << doc.Dump(2);
+    return path;
+  }
+
+  // Runs bench_diff.py and returns its exit status.
+  int RunDiff(const std::string& baseline, const std::string& current,
+              const std::string& extra_flags) {
+    const std::string cmd = "python3 '" FITREE_SOURCE_DIR
+                            "/tools/bench_diff.py' '" +
+                            baseline + "' '" + current + "' " + extra_flags +
+                            " > /dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+};
+
+TEST_F(BenchDiffTest, PassesWithinThreshold) {
+  const auto baseline = WriteDoc("base1", 100.0);
+  const auto current = WriteDoc("cur1", 120.0);  // 1.2x < 1.5x
+  EXPECT_EQ(RunDiff(baseline, current, "--threshold 1.5"), 0);
+}
+
+TEST_F(BenchDiffTest, FailsPastThreshold) {
+  const auto baseline = WriteDoc("base2", 100.0);
+  const auto current = WriteDoc("cur2", 200.0);  // 2.0x > 1.5x
+  EXPECT_EQ(RunDiff(baseline, current, "--threshold 1.5"), 1);
+}
+
+TEST_F(BenchDiffTest, ImprovementNeverFails) {
+  const auto baseline = WriteDoc("base3", 200.0);
+  const auto current = WriteDoc("cur3", 50.0);  // 4x faster
+  EXPECT_EQ(RunDiff(baseline, current, "--threshold 1.5"), 0);
+}
+
+TEST_F(BenchDiffTest, WarnOnlySwallowsRegression) {
+  const auto baseline = WriteDoc("base4", 100.0);
+  const auto current = WriteDoc("cur4", 500.0);
+  EXPECT_EQ(RunDiff(baseline, current, "--threshold 1.5 --warn-only"), 0);
+}
+
+TEST_F(BenchDiffTest, ComparesChosenMetric) {
+  // p99 regresses 3x while min stays flat: the default (min) passes, the
+  // p99 gate fails.
+  ResultRecord base_record, cur_record;
+  base_record.experiment = cur_record.experiment = "exp";
+  base_record.params = cur_record.params = {{"k", "v"}};
+  base_record.ns_per_op = Stats::From({100.0, 101.0, 102.0});
+  cur_record.ns_per_op = Stats::From({100.0, 101.0, 306.0});
+  Json env = Json::Object();
+  const std::string base_path = ::testing::TempDir() + "fitree_diff_m_a.json";
+  const std::string cur_path = ::testing::TempDir() + "fitree_diff_m_b.json";
+  std::ofstream(base_path) << MakeResultsDocument(env, 3, {base_record}).Dump(2);
+  std::ofstream(cur_path) << MakeResultsDocument(env, 3, {cur_record}).Dump(2);
+  EXPECT_EQ(RunDiff(base_path, cur_path, "--threshold 1.5 --metric min"), 0);
+  EXPECT_EQ(RunDiff(base_path, cur_path, "--threshold 1.5 --metric p99"), 1);
+}
+
+TEST_F(BenchDiffTest, MalformedInputExitsTwo) {
+  const std::string path = ::testing::TempDir() + "fitree_diff_bad.json";
+  std::ofstream(path) << "not json";
+  const auto good = WriteDoc("base5", 100.0);
+  EXPECT_EQ(RunDiff(path, good, ""), 2);
+}
+
+}  // namespace
+}  // namespace fitree::bench
