@@ -90,7 +90,13 @@ RunResult DriveThreads(Index& index, const Streams& streams) {
             sink += index.Contains(op.key) ? 1 : 0;
             break;
           case OpType::kInsert:
-            index.Insert(op.key);
+            index.Insert(op.key, op.value);
+            break;
+          case OpType::kUpdate:
+            sink += index.Update(op.key, op.value) ? 1 : 0;
+            break;
+          case OpType::kDelete:
+            sink += index.Delete(op.key) ? 1 : 0;
             break;
           case OpType::kScan: {
             uint64_t acc = 0;

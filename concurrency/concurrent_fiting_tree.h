@@ -1,28 +1,40 @@
-// Thread-safe FITing-Tree (paper Sec 4.2 index, made concurrent):
+// Thread-safe FITing-Tree (paper Sec 4.2 index, made concurrent), with the
+// full CRUD surface:
 //
 //  - Lookups and scans are lock-free: they run against an immutable
 //    snapshot of the segment directory (a sorted first-key array published
 //    through one atomic pointer) under epoch protection, and against each
-//    segment's immutable key page. The only mutable per-segment state is
-//    the small delta buffer; readers elide its latch with a
+//    segment's immutable key/payload page. The only mutable per-segment
+//    state is the small delta buffer; readers elide its latch with a
 //    sequence-validated "buffer empty" check, so a 100%-read workload
 //    never executes an atomic RMW on shared data and scales linearly.
-//  - Inserts take the target segment's SegLatch, append into its sorted
-//    delta buffer, and release — contention is spread over thousands of
-//    segments, which is the concurrency payoff of the paper's design:
-//    clamped inserts keep every write local to one segment.
-//  - When a buffer overflows, the inserting thread (or the optional
+//  - Writers (insert/update/delete) take the target segment's SegLatch and
+//    mutate its sorted delta buffer of {key, payload, tombstone} entries —
+//    contention is spread over thousands of segments, which is the
+//    concurrency payoff of the paper's design: clamped writes keep every
+//    mutation local to one segment. Because pages are immutable, an update
+//    of a paged key becomes a live buffer *override* and a delete becomes a
+//    tombstone; both are resolved (applied / dropped) by the next merge.
+//  - When a buffer overflows, the mutating thread (or the optional
 //    background MergeWorker) marks the segment retired under its latch,
-//    re-runs shrinking-cone segmentation over page+buffer off-latch, and
-//    publishes the replacement segment(s) with a copy-on-write directory
-//    swap. The old directory snapshot and the old segment are handed to
-//    the EpochManager and freed once all in-flight readers quiesce.
+//    re-runs shrinking-cone segmentation over the merged page+buffer
+//    off-latch, and publishes the replacement segment(s) with a
+//    copy-on-write directory swap. A merge whose every key was tombstoned
+//    publishes a directory *without* the segment. The old directory
+//    snapshot and the old segment are handed to the EpochManager and freed
+//    once all in-flight readers quiesce.
 //
 // Writers waiting on a retired segment retry from the freshly published
 // directory; readers never retry — a snapshot stays self-consistent for as
 // long as they hold their epoch guard, which is what makes scans safe
 // against concurrent merges (bundledrefs' versioned-range-scan discipline,
 // specialized to whole-directory snapshots since merges are rare).
+//
+// Buffer invariants (per segment, under its latch):
+//   - at most one buffer entry per key;
+//   - a live entry is either a pending insert (key absent from the page)
+//     or a payload override (key present in the page);
+//   - a tombstone's key is always present in the page.
 
 #ifndef FITREE_CONCURRENCY_CONCURRENT_FITING_TREE_H_
 #define FITREE_CONCURRENCY_CONCURRENT_FITING_TREE_H_
@@ -37,12 +49,14 @@
 #include <optional>
 #include <span>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "concurrency/epoch.h"
 #include "concurrency/merge_worker.h"
 #include "concurrency/seg_latch.h"
+#include "core/fiting_tree.h"
 #include "core/search_policy.h"
 #include "core/shrinking_cone.h"
 
@@ -53,35 +67,49 @@ struct ConcurrentFitingTreeConfig {
   static constexpr size_t kAutoBufferSize = static_cast<size_t>(-1);
 
   double error = 64.0;
-  // Per-segment delta-buffer budget. With a background worker the budget is
-  // soft: buffers keep absorbing inserts while their merge is queued.
+  // Per-segment delta-buffer budget (pending inserts + overrides +
+  // tombstones). With a background worker the budget is soft: buffers keep
+  // absorbing writes while their merge is queued.
   size_t buffer_size = kAutoBufferSize;
   SearchPolicy search_policy = SearchPolicy::kBinary;
   Feasibility feasibility = Feasibility::kEndpointLine;
-  // Off: the inserting thread merges inline. On: overflows are queued to a
-  // MergeWorker thread and inserts return immediately.
+  // Off: the mutating thread merges inline. On: overflows are queued to a
+  // MergeWorker thread and writes return immediately.
   bool background_merge = false;
 };
 
 struct ConcurrentFitingTreeStats {
-  uint64_t inserts = 0;
+  uint64_t inserts = 0;  // Insert calls, including rejected duplicates
+  uint64_t updates = 0;  // successful Update calls
+  uint64_t deletes = 0;  // successful Delete calls
   uint64_t segment_merges = 0;
   uint64_t segments_created = 0;
+  uint64_t segments_retired = 0;  // merges that deleted every key
   uint64_t insert_retries = 0;  // landed on a retired segment, rerouted
 };
 
-template <typename K>
+template <typename K, typename V = uint64_t>
 class ConcurrentFitingTree {
  public:
-  static std::unique_ptr<ConcurrentFitingTree<K>> Create(
+  using Payload = V;
+
+  static std::unique_ptr<ConcurrentFitingTree> Create(
       const std::vector<K>& keys, const ConcurrentFitingTreeConfig& config) {
-    auto tree = std::make_unique<ConcurrentFitingTree<K>>();
+    return Create(keys, {}, config);
+  }
+
+  // Bulk-loads `keys` with parallel `values` (empty = value-initialized).
+  static std::unique_ptr<ConcurrentFitingTree> Create(
+      const std::vector<K>& keys, const std::vector<V>& values,
+      const ConcurrentFitingTreeConfig& config) {
+    assert(values.empty() || values.size() == keys.size());
+    auto tree = std::make_unique<ConcurrentFitingTree>();
     tree->config_ = config;
     tree->effective_buffer_ =
         config.buffer_size == ConcurrentFitingTreeConfig::kAutoBufferSize
             ? std::max<size_t>(1, static_cast<size_t>(config.error / 2.0))
             : config.buffer_size;
-    tree->BulkLoad(std::span<const K>(keys));
+    tree->BulkLoad(std::span<const K>(keys), std::span<const V>(values));
     if (config.background_merge) {
       tree->worker_.Start([t = tree.get()](void* seg) {
         EpochGuard guard(t->epoch_);
@@ -109,32 +137,48 @@ class ConcurrentFitingTree {
 
   size_t size() const { return size_.load(std::memory_order_acquire); }
 
-  bool Contains(const K& key) const {
+  bool Contains(const K& key) const { return Lookup(key).has_value(); }
+
+  // Payload stored for `key`, or nullopt when absent. The delta buffer
+  // overrides the page: a tombstone hides the paged key, a live override
+  // supersedes the paged payload.
+  std::optional<V> Lookup(const K& key) const {
     EpochGuard guard(epoch_);
     const Directory* dir = dir_.load(std::memory_order_seq_cst);
     const Segment* seg = dir->Floor(key);
-    if (seg == nullptr) return false;
-    return SearchPage(*seg, key) || SearchBuffer(*seg, key);
+    if (seg == nullptr) return std::nullopt;
+    BufferEntry entry;
+    if (SearchBuffer(*seg, key, &entry)) {
+      if (entry.tombstone) return std::nullopt;
+      return entry.value;
+    }
+    const size_t i = SearchPage(*seg, key);
+    if (i == kNotFound) return std::nullopt;
+    return seg->values[i];
   }
 
   std::optional<K> Find(const K& key) const {
     return Contains(key) ? std::optional<K>(key) : std::nullopt;
   }
 
-  // Inserts `key` (set semantics). Lands in the floor segment's delta
-  // buffer under that segment's latch; overflow triggers merge-and-
-  // resegment, inline or via the background worker.
-  void Insert(const K& key) {
+  // Inserts `key` -> `value`. Returns true iff the key was new (set
+  // semantics). Lands in the floor segment's delta buffer under that
+  // segment's latch; overflow triggers merge-and-resegment, inline or via
+  // the background worker.
+  bool Insert(const K& key, const V& value = V{}) {
     stats_inserts_.fetch_add(1, std::memory_order_relaxed);
     EpochGuard guard(epoch_);
     for (;;) {
       const Directory* dir = dir_.load(std::memory_order_seq_cst);
       Segment* seg = dir->Floor(key);
       if (seg == nullptr) {
-        if (InsertIntoEmpty(key)) return;
+        if (InsertIntoEmpty(key, value)) return true;
         continue;  // lost the bootstrap race; the directory now has a root
       }
-      if (SearchPage(*seg, key)) return;  // already present in the page
+      // The page is immutable while the segment is live, so the bounded
+      // search can run before taking the latch; a retirement between the
+      // search and the lock is caught by the retired check and retried.
+      const size_t page_idx = SearchPage(*seg, key);
       seg->latch.Lock();
       if (seg->retired.load(std::memory_order_relaxed)) {
         // A merge replaced this segment after we located it; retry against
@@ -144,33 +188,128 @@ class ConcurrentFitingTree {
         std::this_thread::yield();
         continue;
       }
-      const bool inserted = InsertIntoBufferLocked(seg, key);
+      bool inserted = false;
+      auto pos = BufferPos(seg, key);
+      if (pos != seg->buffer.end() && pos->key == key) {
+        if (pos->tombstone) {
+          // Delete-then-reinsert of a paged key: flip the tombstone into a
+          // live override carrying the fresh payload.
+          pos->tombstone = false;
+          pos->value = value;
+          inserted = true;
+        }
+      } else if (page_idx == kNotFound) {
+        seg->buffer.insert(pos, BufferEntry{key, value, false});
+        BumpBufferCount(seg);
+        inserted = true;
+      }
       const bool overflow = seg->buffer.size() > effective_buffer_;
       seg->latch.Unlock();
       if (inserted) size_.fetch_add(1, std::memory_order_release);
-      if (overflow) {
-        if (worker_.running()) {
-          if (!seg->merge_pending.exchange(true, std::memory_order_acq_rel)) {
-            worker_.Enqueue(seg);
-          }
-        } else {
-          MergeSegment(seg);
-        }
-      }
-      return;
+      if (overflow) ScheduleMerge(seg);
+      return inserted;
     }
   }
 
-  // Calls fn(key) for every stored key in [lo, hi] in ascending order over
-  // one directory snapshot: segment pages are read in place, delta buffers
-  // are copied out under their latch (they hold at most ~error/2 keys).
+  // Replaces the payload of a present key. Returns false when absent.
+  // Updating a paged key writes a live override entry into the buffer (the
+  // page is immutable); the next merge folds it into the new page.
+  bool Update(const K& key, const V& value) {
+    EpochGuard guard(epoch_);
+    for (;;) {
+      const Directory* dir = dir_.load(std::memory_order_seq_cst);
+      Segment* seg = dir->Floor(key);
+      if (seg == nullptr) return false;
+      const size_t page_idx = SearchPage(*seg, key);  // pre-latch: page immutable
+      seg->latch.Lock();
+      if (seg->retired.load(std::memory_order_relaxed)) {
+        seg->latch.Unlock();
+        stats_retries_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+        continue;
+      }
+      bool updated = false;
+      bool overflow = false;
+      auto pos = BufferPos(seg, key);
+      if (pos != seg->buffer.end() && pos->key == key) {
+        if (!pos->tombstone) {
+          pos->value = value;
+          updated = true;
+        }
+      } else if (page_idx != kNotFound) {
+        seg->buffer.insert(pos, BufferEntry{key, value, false});
+        BumpBufferCount(seg);
+        updated = true;
+        overflow = seg->buffer.size() > effective_buffer_;
+      }
+      seg->latch.Unlock();
+      if (updated) stats_updates_.fetch_add(1, std::memory_order_relaxed);
+      if (overflow) ScheduleMerge(seg);
+      return updated;
+    }
+  }
+
+  // Removes `key`. Returns false when absent. A paged key gets a tombstone
+  // (cleared by the next merge); a buffered pending insert is dropped
+  // outright. Tombstones count against the buffer budget, so delete-heavy
+  // traffic merges just like insert-heavy traffic.
+  bool Delete(const K& key) {
+    EpochGuard guard(epoch_);
+    for (;;) {
+      const Directory* dir = dir_.load(std::memory_order_seq_cst);
+      Segment* seg = dir->Floor(key);
+      if (seg == nullptr) return false;
+      const size_t page_idx = SearchPage(*seg, key);  // pre-latch: page immutable
+      seg->latch.Lock();
+      if (seg->retired.load(std::memory_order_relaxed)) {
+        seg->latch.Unlock();
+        stats_retries_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+        continue;
+      }
+      bool deleted = false;
+      bool overflow = false;
+      auto pos = BufferPos(seg, key);
+      if (pos != seg->buffer.end() && pos->key == key) {
+        if (!pos->tombstone) {
+          if (page_idx != kNotFound) {
+            // Live override of a paged key: demote to tombstone.
+            pos->tombstone = true;
+            pos->value = V{};
+          } else {
+            // Pending insert that never reached a page: drop it.
+            seg->buffer.erase(pos);
+            BumpBufferCount(seg);
+          }
+          deleted = true;
+        }
+      } else if (page_idx != kNotFound) {
+        seg->buffer.insert(pos, BufferEntry{key, V{}, true});
+        BumpBufferCount(seg);
+        deleted = true;
+        overflow = seg->buffer.size() > effective_buffer_;
+      }
+      seg->latch.Unlock();
+      if (deleted) {
+        size_.fetch_sub(1, std::memory_order_release);
+        stats_deletes_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (overflow) ScheduleMerge(seg);
+      return deleted;
+    }
+  }
+
+  // Calls fn(key) or fn(key, value) for every live entry in [lo, hi] in
+  // ascending order over one directory snapshot: segment pages are read in
+  // place, delta buffers are copied out under their latch (they hold at
+  // most ~error/2 entries).
   template <typename Fn>
   void ScanRange(const K& lo, const K& hi, Fn fn) const {
     if (hi < lo) return;
     EpochGuard guard(epoch_);
     const Directory* dir = dir_.load(std::memory_order_seq_cst);
     if (dir->segments.empty()) return;
-    std::vector<K> buffer_copy;
+    std::vector<BufferEntry> buffer_copy;
     for (size_t i = dir->FloorIndex(lo); i < dir->segments.size(); ++i) {
       const Segment* seg = dir->segments[i];
       if (seg->first_key > hi) break;
@@ -196,8 +335,11 @@ class ConcurrentFitingTree {
   ConcurrentFitingTreeStats stats() const {
     ConcurrentFitingTreeStats s;
     s.inserts = stats_inserts_.load(std::memory_order_relaxed);
+    s.updates = stats_updates_.load(std::memory_order_relaxed);
+    s.deletes = stats_deletes_.load(std::memory_order_relaxed);
     s.segment_merges = stats_merges_.load(std::memory_order_relaxed);
     s.segments_created = stats_created_.load(std::memory_order_relaxed);
+    s.segments_retired = stats_retired_.load(std::memory_order_relaxed);
     s.insert_retries = stats_retries_.load(std::memory_order_relaxed);
     return s;
   }
@@ -213,16 +355,21 @@ class ConcurrentFitingTree {
   }
 
  private:
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+  using BufferEntry = detail::BufferEntry<K, V>;
+
   struct Segment {
     K first_key{};
     double slope = 0.0;
     double intercept = 0.0;      // predicted in-page rank at first_key
     std::vector<K> keys;         // immutable once published
+    std::vector<V> values;       // payloads, parallel to `keys`, immutable
     mutable SegLatch latch;      // guards buffer + retired transition
     std::atomic<bool> retired{false};
     std::atomic<bool> merge_pending{false};
     std::atomic<uint32_t> buffer_count{0};
-    std::vector<K> buffer;       // sorted delta buffer, latch-protected
+    std::vector<BufferEntry> buffer;  // sorted delta buffer, latch-protected
 
     double Predict(const K& key) const {
       return intercept + slope * (static_cast<double>(key) -
@@ -254,7 +401,7 @@ class ConcurrentFitingTree {
     }
   };
 
-  void BulkLoad(std::span<const K> keys) {
+  void BulkLoad(std::span<const K> keys, std::span<const V> values) {
     auto dir = std::make_unique<Directory>();
     if (!keys.empty()) {
       const auto models =
@@ -268,6 +415,12 @@ class ConcurrentFitingTree {
         seg->intercept = m.intercept - static_cast<double>(m.start);
         seg->keys.assign(keys.begin() + m.start,
                          keys.begin() + m.start + m.length);
+        if (values.empty()) {
+          seg->values.assign(m.length, V{});
+        } else {
+          seg->values.assign(values.begin() + m.start,
+                             values.begin() + m.start + m.length);
+        }
         dir->first_keys.push_back(m.first_key);
         dir->segments.push_back(seg);
       }
@@ -277,35 +430,42 @@ class ConcurrentFitingTree {
   }
 
   // Error-bounded search of the immutable page, sharing ErrorWindow with
-  // the single-threaded and disk-resident lookup paths.
-  bool SearchPage(const Segment& seg, const K& key) const {
+  // the single-threaded and disk-resident lookup paths. Returns the
+  // in-page index of `key`, or kNotFound.
+  size_t SearchPage(const Segment& seg, const K& key) const {
     const size_t n = seg.keys.size();
-    if (n == 0) return false;
+    if (n == 0) return kNotFound;
     const double pred = seg.Predict(key);
     // Keys below the leftmost segment (floor fallback) predict far
     // negative; bail before ErrorWindow's size_t casts.
-    if (pred + config_.error + 2.0 < 0.0) return false;
+    if (pred + config_.error + 2.0 < 0.0) return kNotFound;
     const auto [begin, end] = ErrorWindow(pred, config_.error, 0, n);
     const size_t hint = static_cast<size_t>(std::max(0.0, pred));
     const size_t i = detail::BoundedLowerBound(
         seg.keys.data(), begin, end, hint, key, config_.search_policy);
-    return i < n && seg.keys[i] == key;
+    return i < n && seg.keys[i] == key ? i : kNotFound;
   }
 
-  // Latch-eliding buffer membership test: a sequence-validated empty check
-  // answers the common case without an atomic RMW; otherwise fall back to a
-  // short critical section (the buffer holds at most ~error/2 keys).
-  bool SearchBuffer(const Segment& seg, const K& key) const {
+  // Latch-eliding buffer probe: a sequence-validated empty check answers
+  // the common case without an atomic RMW; otherwise fall back to a short
+  // critical section (the buffer holds at most ~error/2 entries). Returns
+  // true and copies the entry out when `key` has one.
+  bool SearchBuffer(const Segment& seg, const K& key,
+                    BufferEntry* out) const {
     const uint32_t seq = seg.latch.ReadSeq();
     if (seg.buffer_count.load(std::memory_order_acquire) == 0 &&
         seg.latch.Validate(seq)) {
       return false;
     }
     SegLatch::Scoped lock(seg.latch);
-    return std::binary_search(seg.buffer.begin(), seg.buffer.end(), key);
+    auto pos = std::lower_bound(seg.buffer.begin(), seg.buffer.end(), key,
+                                detail::BufferKeyLess{});
+    if (pos == seg.buffer.end() || pos->key != key) return false;
+    *out = *pos;
+    return true;
   }
 
-  void CopyBuffer(const Segment& seg, std::vector<K>* out) const {
+  void CopyBuffer(const Segment& seg, std::vector<BufferEntry>* out) const {
     out->clear();
     const uint32_t seq = seg.latch.ReadSeq();
     if (seg.buffer_count.load(std::memory_order_acquire) == 0 &&
@@ -317,43 +477,69 @@ class ConcurrentFitingTree {
   }
 
   template <typename Fn>
-  void EmitRange(const Segment& seg, const std::vector<K>& buffer,
+  void EmitRange(const Segment& seg, const std::vector<BufferEntry>& buffer,
                  const K& lo, const K& hi, Fn& fn) const {
     auto k = std::lower_bound(seg.keys.begin(), seg.keys.end(), lo);
-    auto b = std::lower_bound(buffer.begin(), buffer.end(), lo);
+    auto b = std::lower_bound(buffer.begin(), buffer.end(), lo,
+                              detail::BufferKeyLess{});
     while (k != seg.keys.end() || b != buffer.end()) {
-      const bool take_key =
-          b == buffer.end() || (k != seg.keys.end() && *k <= *b);
-      const K value = take_key ? *k : *b;
-      if (value > hi) return;
-      fn(value);
-      if (take_key) {
+      const bool page_first =
+          b == buffer.end() || (k != seg.keys.end() && *k < b->key);
+      if (page_first) {
+        if (*k > hi) return;
+        detail::EmitEntry(fn, *k,
+                          seg.values[static_cast<size_t>(k - seg.keys.begin())]);
         ++k;
-      } else {
-        ++b;
+        continue;
       }
+      if (b->key > hi) return;
+      if (k != seg.keys.end() && *k == b->key) {
+        // The buffer shadows the page: a tombstone hides the paged key, a
+        // live override replaces its payload.
+        if (!b->tombstone) detail::EmitEntry(fn, b->key, b->value);
+        ++k;
+        ++b;
+        continue;
+      }
+      if (!b->tombstone) detail::EmitEntry(fn, b->key, b->value);
+      ++b;
     }
   }
 
-  // Precondition: latch held, segment live. Returns false on duplicate.
-  bool InsertIntoBufferLocked(Segment* seg, const K& key) {
-    auto pos = std::lower_bound(seg->buffer.begin(), seg->buffer.end(), key);
-    if (pos != seg->buffer.end() && *pos == key) return false;
-    seg->buffer.insert(pos, key);
+  // Precondition: latch held. Sorted insertion point for `key`.
+  typename std::vector<BufferEntry>::iterator BufferPos(Segment* seg,
+                                                        const K& key) {
+    return std::lower_bound(seg->buffer.begin(), seg->buffer.end(), key,
+                            detail::BufferKeyLess{});
+  }
+
+  // Precondition: latch held. Republishes the elision counter after a
+  // buffer size change.
+  void BumpBufferCount(Segment* seg) {
     seg->buffer_count.store(static_cast<uint32_t>(seg->buffer.size()),
                             std::memory_order_release);
-    return true;
+  }
+
+  void ScheduleMerge(Segment* seg) {
+    if (worker_.running()) {
+      if (!seg->merge_pending.exchange(true, std::memory_order_acq_rel)) {
+        worker_.Enqueue(seg);
+      }
+    } else {
+      MergeSegment(seg);
+    }
   }
 
   // First key of an empty tree: build a one-segment directory under the
   // swap mutex. Returns false when another thread won the race.
-  bool InsertIntoEmpty(const K& key) {
+  bool InsertIntoEmpty(const K& key, const V& value) {
     std::lock_guard<std::mutex> lock(dir_mu_);
     const Directory* dir = dir_.load(std::memory_order_seq_cst);
     if (!dir->segments.empty()) return false;
     auto* seg = new Segment();
     seg->first_key = key;
     seg->keys.push_back(key);
+    seg->values.push_back(value);
     auto next = std::make_unique<Directory>();
     next->first_keys.push_back(key);
     next->segments.push_back(seg);
@@ -366,17 +552,19 @@ class ConcurrentFitingTree {
   // Merge-and-resegment (paper Sec 4.2.2), concurrent edition. The caller
   // holds an epoch guard and no latch. Steps:
   //   1. Under the segment latch: bail if already retired (another thread
-  //      merged it) or the buffer shrank below budget; otherwise mark the
-  //      segment retired and snapshot page+buffer merged.
+  //      merged it) or the buffer drained below budget; otherwise mark the
+  //      segment retired and snapshot the page+buffer merge — pending
+  //      inserts applied, overrides folded in, tombstoned keys dropped.
   //   2. Off-latch: shrinking-cone resegmentation of the merged keys (the
-  //      expensive part; the retired segment is frozen so no insert can
+  //      expensive part; the retired segment is frozen so no write can
   //      slip in, and readers continue against the old snapshot).
   //   3. Under the directory mutex: publish a copy-on-write directory with
-  //      the retired segment's entry replaced by the new segment(s), then
-  //      retire the old directory and old segment through the epoch
-  //      manager.
+  //      the retired segment's entry replaced by the new segment(s) — or
+  //      removed entirely when the merge deleted every key — then retire
+  //      the old directory and old segment through the epoch manager.
   void MergeSegment(Segment* seg) {
     std::vector<K> merged;
+    std::vector<V> merged_values;
     {
       SegLatch::Scoped lock(seg->latch);
       if (seg->retired.load(std::memory_order_relaxed)) return;
@@ -385,25 +573,57 @@ class ConcurrentFitingTree {
         return;
       }
       seg->retired.store(true, std::memory_order_release);
-      merged.resize(seg->keys.size() + seg->buffer.size());
-      std::merge(seg->keys.begin(), seg->keys.end(), seg->buffer.begin(),
-                 seg->buffer.end(), merged.begin());
+      merged.reserve(seg->keys.size() + seg->buffer.size());
+      merged_values.reserve(merged.capacity());
+      size_t k = 0;
+      size_t b = 0;
+      while (k < seg->keys.size() || b < seg->buffer.size()) {
+        const bool page_first =
+            b == seg->buffer.size() ||
+            (k < seg->keys.size() && seg->keys[k] < seg->buffer[b].key);
+        if (page_first) {
+          merged.push_back(seg->keys[k]);
+          merged_values.push_back(seg->values[k]);
+          ++k;
+        } else if (k < seg->keys.size() &&
+                   seg->keys[k] == seg->buffer[b].key) {
+          // Buffer shadows page: override replaces the payload, tombstone
+          // drops the key.
+          if (!seg->buffer[b].tombstone) {
+            merged.push_back(seg->buffer[b].key);
+            merged_values.push_back(seg->buffer[b].value);
+          }
+          ++k;
+          ++b;
+        } else {
+          assert(!seg->buffer[b].tombstone);
+          merged.push_back(seg->buffer[b].key);
+          merged_values.push_back(seg->buffer[b].value);
+          ++b;
+        }
+      }
     }
     stats_merges_.fetch_add(1, std::memory_order_relaxed);
 
-    const auto models = SegmentShrinkingCone<K>(
-        std::span<const K>(merged), config_.error, config_.feasibility);
-    stats_created_.fetch_add(models.size(), std::memory_order_relaxed);
     std::vector<Segment*> replacements;
-    replacements.reserve(models.size());
-    for (const fitree::Segment<K>& m : models) {
-      auto* out = new Segment();
-      out->first_key = m.first_key;
-      out->slope = m.slope;
-      out->intercept = m.intercept - static_cast<double>(m.start);
-      out->keys.assign(merged.begin() + m.start,
-                       merged.begin() + m.start + m.length);
-      replacements.push_back(out);
+    if (!merged.empty()) {
+      const auto models = SegmentShrinkingCone<K>(
+          std::span<const K>(merged), config_.error, config_.feasibility);
+      stats_created_.fetch_add(models.size(), std::memory_order_relaxed);
+      replacements.reserve(models.size());
+      for (const fitree::Segment<K>& m : models) {
+        auto* out = new Segment();
+        out->first_key = m.first_key;
+        out->slope = m.slope;
+        out->intercept = m.intercept - static_cast<double>(m.start);
+        out->keys.assign(merged.begin() + m.start,
+                         merged.begin() + m.start + m.length);
+        out->values.assign(merged_values.begin() + m.start,
+                           merged_values.begin() + m.start + m.length);
+        replacements.push_back(out);
+      }
+    } else {
+      stats_retired_.fetch_add(1, std::memory_order_relaxed);
     }
 
     {
@@ -414,7 +634,7 @@ class ConcurrentFitingTree {
       size_t idx = dir->FloorIndex(seg->first_key);
       assert(idx < dir->segments.size() && dir->segments[idx] == seg);
       auto next = std::make_unique<Directory>();
-      next->first_keys.reserve(dir->first_keys.size() + models.size() - 1);
+      next->first_keys.reserve(dir->first_keys.size() + replacements.size());
       next->segments.reserve(next->first_keys.capacity());
       for (size_t i = 0; i < idx; ++i) {
         next->first_keys.push_back(dir->first_keys[i]);
@@ -442,8 +662,11 @@ class ConcurrentFitingTree {
   MergeWorker worker_;
   std::atomic<size_t> size_{0};
   std::atomic<uint64_t> stats_inserts_{0};
+  std::atomic<uint64_t> stats_updates_{0};
+  std::atomic<uint64_t> stats_deletes_{0};
   std::atomic<uint64_t> stats_merges_{0};
   std::atomic<uint64_t> stats_created_{0};
+  std::atomic<uint64_t> stats_retired_{0};
   std::atomic<uint64_t> stats_retries_{0};
 };
 

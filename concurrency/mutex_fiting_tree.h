@@ -18,13 +18,22 @@
 
 namespace fitree {
 
-template <typename K>
+template <typename K, typename V = uint64_t>
 class MutexFitingTree {
  public:
-  static std::unique_ptr<MutexFitingTree<K>> Create(
+  using Payload = V;
+  using Tree = FitingTree<K, 16, 16, V>;
+
+  static std::unique_ptr<MutexFitingTree<K, V>> Create(
       const std::vector<K>& keys, const FitingTreeConfig& config) {
-    auto wrapper = std::make_unique<MutexFitingTree<K>>();
-    wrapper->tree_ = FitingTree<K>::Create(keys, config);
+    return Create(keys, {}, config);
+  }
+
+  static std::unique_ptr<MutexFitingTree<K, V>> Create(
+      const std::vector<K>& keys, const std::vector<V>& values,
+      const FitingTreeConfig& config) {
+    auto wrapper = std::make_unique<MutexFitingTree<K, V>>();
+    wrapper->tree_ = Tree::Create(keys, values, config);
     return wrapper;
   }
 
@@ -33,14 +42,29 @@ class MutexFitingTree {
     return tree_->Contains(key);
   }
 
+  std::optional<V> Lookup(const K& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tree_->Lookup(key);
+  }
+
   std::optional<K> Find(const K& key) const {
     std::lock_guard<std::mutex> lock(mu_);
     return tree_->Find(key);
   }
 
-  void Insert(const K& key) {
+  bool Insert(const K& key, const V& value = V{}) {
     std::lock_guard<std::mutex> lock(mu_);
-    tree_->Insert(key);
+    return tree_->Insert(key, value);
+  }
+
+  bool Update(const K& key, const V& value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tree_->Update(key, value);
+  }
+
+  bool Delete(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tree_->Delete(key);
   }
 
   template <typename Fn>
@@ -61,7 +85,7 @@ class MutexFitingTree {
 
  private:
   mutable std::mutex mu_;
-  std::unique_ptr<FitingTree<K>> tree_;
+  std::unique_ptr<Tree> tree_;
 };
 
 }  // namespace fitree

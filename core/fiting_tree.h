@@ -1,13 +1,24 @@
-// FITing-Tree with per-segment insert buffers (paper Sec 4.2): each linear
-// segment owns its sorted key page plus a small sorted buffer for incoming
-// inserts. When a buffer exceeds its budget the segment merges buffer and
-// page and re-runs the shrinking cone over the combined keys, replacing
-// itself with however many segments the data now needs — this is the
-// data-aware split that distinguishes FITing-Tree from fixed paging.
+// FITing-Tree with per-segment insert buffers (paper Sec 4.2), grown into a
+// full key-value store: each linear segment owns its sorted key page with a
+// parallel payload array, plus a small sorted delta buffer of
+// {key, payload, tombstone} entries for incoming mutations. Inserts of new
+// keys land in the buffer; deletes of paged keys leave a tombstone there;
+// updates of paged keys rewrite the payload in place (the page's keys are
+// what the models predict, payloads are free to change). When a buffer
+// exceeds its budget the segment merges buffer and page — dropping
+// tombstoned keys — and re-runs the shrinking cone over the surviving keys,
+// replacing itself with however many segments the data now needs. This is
+// the data-aware split that distinguishes FITing-Tree from fixed paging; a
+// merge that deletes every key retires the segment outright.
 //
 // The segment directory is a B+ tree keyed by each segment's first key; its
 // node width is a template parameter so bench_ablations can sweep fanout.
 // Read operations are const and safe for concurrent readers.
+//
+// Buffer invariants (checked by tests/oracle.h's differential driver):
+//   - at most one buffer entry per key;
+//   - a live entry's key is absent from the page (pure pending insert);
+//   - a tombstone's key is present in the page (pending delete).
 
 #ifndef FITREE_CORE_FITING_TREE_H_
 #define FITREE_CORE_FITING_TREE_H_
@@ -20,6 +31,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -36,40 +48,102 @@ struct FitingTreeConfig {
   static constexpr size_t kAutoBufferSize = static_cast<size_t>(-1);
 
   double error = 64.0;
-  // Per-segment insert-buffer capacity. 0 means merge on every insert
-  // (write-pessimal, read-optimal); kAutoBufferSize means error/2.
+  // Per-segment delta-buffer capacity (pending inserts + tombstones). 0
+  // means merge on every mutation (write-pessimal, read-optimal);
+  // kAutoBufferSize means error/2.
   size_t buffer_size = kAutoBufferSize;
   SearchPolicy search_policy = SearchPolicy::kBinary;
   Feasibility feasibility = Feasibility::kEndpointLine;
 };
 
 struct FitingTreeStats {
-  uint64_t inserts = 0;
+  uint64_t inserts = 0;          // Insert calls, including rejected dups
+  uint64_t updates = 0;          // successful Update calls
+  uint64_t deletes = 0;          // successful Delete calls
   uint64_t segment_merges = 0;   // buffer merge-and-resegment events
   uint64_t segments_created = 0; // segments produced by those merges
+  uint64_t segments_retired = 0; // segments whose merge left zero keys
+  uint64_t tombstones_cleared = 0;  // deleted keys resolved by merges
 };
 
-template <typename K, int kInnerSlots = 16, int kLeafSlots = kInnerSlots>
+namespace detail {
+
+// Invokes a scan callback that accepts either (key) or (key, value), so
+// key-only consumers (the paper benches) and payload-aware consumers (the
+// CRUD suites) share one ScanRange.
+template <typename Fn, typename K, typename V>
+inline void EmitEntry(Fn& fn, const K& key, const V& value) {
+  if constexpr (std::is_invocable_v<Fn&, const K&, const V&>) {
+    fn(key, value);
+  } else {
+    fn(key);
+  }
+}
+
+// One pending mutation in a segment's delta buffer, shared by the
+// single-threaded and concurrent engines (their buffer invariants differ —
+// see each class comment — but the record and its ordering do not).
+template <typename K, typename V>
+struct BufferEntry {
+  K key{};
+  V value{};
+  bool tombstone = false;
+};
+
+// Heterogeneous key comparator for lower_bound over a sorted buffer.
+struct BufferKeyLess {
+  template <typename K, typename V>
+  bool operator()(const BufferEntry<K, V>& e, const K& k) const {
+    return e.key < k;
+  }
+};
+
+}  // namespace detail
+
+template <typename K, int kInnerSlots = 16, int kLeafSlots = kInnerSlots,
+          typename V = uint64_t>
 class FitingTree {
  public:
-  static std::unique_ptr<FitingTree<K, kInnerSlots, kLeafSlots>> Create(
-      const std::vector<K>& keys, const FitingTreeConfig& config) {
-    auto tree = std::make_unique<FitingTree<K, kInnerSlots, kLeafSlots>>();
+  using Payload = V;
+
+  static std::unique_ptr<FitingTree> Create(const std::vector<K>& keys,
+                                            const FitingTreeConfig& config) {
+    return Create(keys, {}, config);
+  }
+
+  // Bulk-loads `keys` with parallel `values` (empty = value-initialized
+  // payloads). Keys must be sorted and duplicate-free.
+  static std::unique_ptr<FitingTree> Create(const std::vector<K>& keys,
+                                            const std::vector<V>& values,
+                                            const FitingTreeConfig& config) {
+    assert(values.empty() || values.size() == keys.size());
+    auto tree = std::make_unique<FitingTree>();
     tree->config_ = config;
     tree->effective_buffer_ =
         config.buffer_size == FitingTreeConfig::kAutoBufferSize
             ? std::max<size_t>(1, static_cast<size_t>(config.error / 2.0))
             : config.buffer_size;
-    tree->BulkLoad(std::span<const K>(keys));
+    tree->BulkLoad(std::span<const K>(keys), std::span<const V>(values));
     return tree;
   }
 
   size_t size() const { return size_; }
 
-  bool Contains(const K& key) const {
+  bool Contains(const K& key) const { return Lookup(key).has_value(); }
+
+  // Payload stored for `key`, or nullopt when absent. Buffer entries
+  // override the page: a tombstone hides the paged key until the next merge
+  // physically drops it.
+  std::optional<V> Lookup(const K& key) const {
     const SegmentData* seg = LocateSegment(key);
-    if (seg == nullptr) return false;
-    return SearchSegment(*seg, key) || SearchBuffer(*seg, key);
+    if (seg == nullptr) return std::nullopt;
+    if (const BufferEntry* entry = FindBuffer(*seg, key)) {
+      if (entry->tombstone) return std::nullopt;
+      return entry->value;
+    }
+    const size_t i = SearchSegment(*seg, key);
+    if (i == kNotFound) return std::nullopt;
+    return seg->values[i];
   }
 
   // Returns the stored key equal to `key` when present.
@@ -85,15 +159,23 @@ class FitingTree {
     const SegmentData* seg = LocateSegment(key);
     *tree_ns += timer.ElapsedNs();
     timer.Reset();
-    const bool found =
-        seg != nullptr && (SearchSegment(*seg, key) || SearchBuffer(*seg, key));
+    bool found = false;
+    if (seg != nullptr) {
+      if (const BufferEntry* entry = FindBuffer(*seg, key)) {
+        found = !entry->tombstone;
+      } else {
+        found = SearchSegment(*seg, key) != kNotFound;
+      }
+    }
     *page_ns += timer.ElapsedNs();
     return found;
   }
 
-  // Inserts `key` (set semantics: duplicates are ignored). The key lands in
-  // its floor segment's buffer; a full buffer triggers merge-and-resegment.
-  void Insert(const K& key) {
+  // Inserts `key` -> `value`. Returns true iff the key was new (set
+  // semantics: inserting a present key is a no-op returning false). The key
+  // lands in its floor segment's buffer; a full buffer triggers
+  // merge-and-resegment.
+  bool Insert(const K& key, const V& value = V{}) {
     ++stats_.inserts;
     SegmentData* seg = LocateSegmentMutable(key);
     if (seg == nullptr) {
@@ -103,21 +185,76 @@ class FitingTree {
       data->slope = 0.0;
       data->intercept = 0.0;
       data->keys.push_back(key);
+      data->values.push_back(value);
       directory_.Insert(key, data.get());
       segments_.push_back(std::move(data));
       ++live_segments_;
       ++size_;
-      return;
+      return true;
     }
-    if (SearchSegment(*seg, key) || SearchBuffer(*seg, key)) return;
-    auto pos = std::lower_bound(seg->buffer.begin(), seg->buffer.end(), key);
-    seg->buffer.insert(pos, key);
+    auto pos = BufferPos(*seg, key);
+    if (pos != seg->buffer.end() && pos->key == key) {
+      if (!pos->tombstone) return false;  // live duplicate
+      // Delete-then-reinsert: the key still sits in the page; drop the
+      // tombstone and refresh the paged payload in place.
+      const size_t i = SearchSegment(*seg, key);
+      assert(i != kNotFound);
+      seg->values[i] = value;
+      seg->buffer.erase(pos);
+      ++size_;
+      return true;
+    }
+    if (SearchSegment(*seg, key) != kNotFound) return false;
+    seg->buffer.insert(pos, BufferEntry{key, value, false});
     ++size_;
     if (seg->buffer.size() > effective_buffer_) MergeSegment(seg);
+    return true;
   }
 
-  // Calls fn(key) for every stored key in [lo, hi] in ascending order,
-  // merging each segment's page with its buffer on the fly.
+  // Replaces the payload of a present key. Returns false when absent.
+  bool Update(const K& key, const V& value) {
+    SegmentData* seg = LocateSegmentMutable(key);
+    if (seg == nullptr) return false;
+    auto pos = BufferPos(*seg, key);
+    if (pos != seg->buffer.end() && pos->key == key) {
+      if (pos->tombstone) return false;
+      pos->value = value;
+      ++stats_.updates;
+      return true;
+    }
+    const size_t i = SearchSegment(*seg, key);
+    if (i == kNotFound) return false;
+    seg->values[i] = value;
+    ++stats_.updates;
+    return true;
+  }
+
+  // Removes `key`. Returns false when absent. A paged key gets a tombstone
+  // in the buffer (resolved by the next merge); a buffered key is dropped
+  // outright. Tombstones count against the buffer budget, so delete-heavy
+  // traffic triggers merges just like insert-heavy traffic.
+  bool Delete(const K& key) {
+    SegmentData* seg = LocateSegmentMutable(key);
+    if (seg == nullptr) return false;
+    auto pos = BufferPos(*seg, key);
+    if (pos != seg->buffer.end() && pos->key == key) {
+      if (pos->tombstone) return false;
+      seg->buffer.erase(pos);
+      --size_;
+      ++stats_.deletes;
+      return true;
+    }
+    if (SearchSegment(*seg, key) == kNotFound) return false;
+    seg->buffer.insert(pos, BufferEntry{key, V{}, true});
+    --size_;
+    ++stats_.deletes;
+    if (seg->buffer.size() > effective_buffer_) MergeSegment(seg);
+    return true;
+  }
+
+  // Calls fn(key) or fn(key, value) for every live entry in [lo, hi] in
+  // ascending order, merging each segment's page with its buffer on the fly
+  // (tombstoned keys are skipped).
   template <typename Fn>
   void ScanRange(const K& lo, const K& hi, Fn fn) const {
     if (live_segments_ == 0 || hi < lo) return;
@@ -144,12 +281,17 @@ class FitingTree {
   const FitingTreeConfig& config() const { return config_; }
 
  private:
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+  using BufferEntry = detail::BufferEntry<K, V>;
+
   struct SegmentData {
     K first_key{};
     double slope = 0.0;
     double intercept = 0.0;  // predicted index into `keys` at first_key
     std::vector<K> keys;     // sorted page
-    std::vector<K> buffer;   // sorted insert buffer
+    std::vector<V> values;   // payloads, parallel to `keys`
+    std::vector<BufferEntry> buffer;  // sorted delta buffer
 
     double Predict(const K& key) const {
       return intercept + slope * (static_cast<double>(key) -
@@ -162,7 +304,7 @@ class FitingTree {
 
   using Directory = btree::BTreeMap<K, SegmentData*, kLeafSlots, kInnerSlots>;
 
-  void BulkLoad(std::span<const K> keys) {
+  void BulkLoad(std::span<const K> keys, std::span<const V> values) {
     size_ = keys.size();
     if (keys.empty()) return;
     const auto models =
@@ -177,6 +319,12 @@ class FitingTree {
       data->intercept = m.intercept - static_cast<double>(m.start);
       data->keys.assign(keys.begin() + m.start,
                         keys.begin() + m.start + m.length);
+      if (values.empty()) {
+        data->values.assign(m.length, V{});
+      } else {
+        data->values.assign(values.begin() + m.start,
+                            values.begin() + m.start + m.length);
+      }
       entries.emplace_back(m.first_key, data.get());
       segments_.push_back(std::move(data));
     }
@@ -196,57 +344,122 @@ class FitingTree {
 
   // Error-bounded search of the segment page for an exact match, through
   // the same ErrorWindow as the disk-resident and concurrent lookup paths.
-  bool SearchSegment(const SegmentData& seg, const K& key) const {
+  // Returns the in-page index of `key`, or kNotFound.
+  size_t SearchSegment(const SegmentData& seg, const K& key) const {
     const size_t n = seg.keys.size();
-    if (n == 0) return false;
+    if (n == 0) return kNotFound;
     const double pred = seg.Predict(key);
     // A key below the leftmost segment (floor fallback) predicts far
     // negative; a present key always predicts a window overlapping [0, n).
-    if (pred + config_.error + 2.0 < 0.0) return false;
+    if (pred + config_.error + 2.0 < 0.0) return kNotFound;
     const auto [begin, end] = ErrorWindow(pred, config_.error, 0, n);
     const size_t hint = static_cast<size_t>(std::max(0.0, pred));
     const size_t i = detail::BoundedLowerBound(
         seg.keys.data(), begin, end, hint, key, config_.search_policy);
-    return i < n && seg.keys[i] == key;
+    return i < n && seg.keys[i] == key ? i : kNotFound;
   }
 
-  bool SearchBuffer(const SegmentData& seg, const K& key) const {
-    return std::binary_search(seg.buffer.begin(), seg.buffer.end(), key);
+  typename std::vector<BufferEntry>::iterator BufferPos(SegmentData& seg,
+                                                        const K& key) const {
+    return std::lower_bound(seg.buffer.begin(), seg.buffer.end(), key,
+                            detail::BufferKeyLess{});
+  }
+
+  const BufferEntry* FindBuffer(const SegmentData& seg, const K& key) const {
+    auto pos = std::lower_bound(seg.buffer.begin(), seg.buffer.end(), key,
+                                detail::BufferKeyLess{});
+    if (pos == seg.buffer.end() || pos->key != key) return nullptr;
+    return &*pos;
   }
 
   template <typename Fn>
   void EmitRange(const SegmentData& seg, const K& lo, const K& hi,
                  Fn& fn) const {
     auto k = std::lower_bound(seg.keys.begin(), seg.keys.end(), lo);
-    auto b = std::lower_bound(seg.buffer.begin(), seg.buffer.end(), lo);
+    auto b = std::lower_bound(seg.buffer.begin(), seg.buffer.end(), lo,
+                              detail::BufferKeyLess{});
     while (k != seg.keys.end() || b != seg.buffer.end()) {
-      const bool take_key =
-          b == seg.buffer.end() || (k != seg.keys.end() && *k <= *b);
-      const K value = take_key ? *k : *b;
-      if (value > hi) return;
-      fn(value);
-      if (take_key) {
+      const bool page_first =
+          b == seg.buffer.end() || (k != seg.keys.end() && *k < b->key);
+      if (page_first) {
+        if (*k > hi) return;
+        detail::EmitEntry(fn, *k,
+                          seg.values[static_cast<size_t>(k - seg.keys.begin())]);
         ++k;
-      } else {
-        ++b;
+        continue;
       }
+      if (b->key > hi) return;
+      if (k != seg.keys.end() && *k == b->key) {
+        // Equal keys: the buffer entry shadows the page. By the buffer
+        // invariants this is a tombstone (live entries are never paged).
+        assert(b->tombstone);
+        ++k;
+        ++b;
+        continue;
+      }
+      if (!b->tombstone) detail::EmitEntry(fn, b->key, b->value);
+      ++b;
     }
   }
 
-  // Merges `seg`'s buffer into its page and re-segments the combined keys
-  // with the shrinking cone, replacing one directory entry with possibly
-  // several (paper Sec 4.2.2).
+  // Merges `seg`'s buffer into its page — applying pending inserts and
+  // dropping tombstoned keys — and re-segments the surviving keys with the
+  // shrinking cone, replacing one directory entry with possibly several
+  // (paper Sec 4.2.2). A merge that leaves no keys retires the segment.
   void MergeSegment(SegmentData* seg) {
     ++stats_.segment_merges;
-    std::vector<K> merged(seg->keys.size() + seg->buffer.size());
-    std::merge(seg->keys.begin(), seg->keys.end(), seg->buffer.begin(),
-               seg->buffer.end(), merged.begin());
+    std::vector<K> merged;
+    std::vector<V> merged_values;
+    merged.reserve(seg->keys.size() + seg->buffer.size());
+    merged_values.reserve(merged.capacity());
+    {
+      size_t k = 0;
+      size_t b = 0;
+      while (k < seg->keys.size() || b < seg->buffer.size()) {
+        const bool page_first =
+            b == seg->buffer.size() ||
+            (k < seg->keys.size() && seg->keys[k] < seg->buffer[b].key);
+        if (page_first) {
+          merged.push_back(seg->keys[k]);
+          merged_values.push_back(seg->values[k]);
+          ++k;
+        } else if (k < seg->keys.size() && seg->keys[k] == seg->buffer[b].key) {
+          assert(seg->buffer[b].tombstone);
+          ++stats_.tombstones_cleared;
+          ++k;
+          ++b;
+        } else {
+          assert(!seg->buffer[b].tombstone);
+          merged.push_back(seg->buffer[b].key);
+          merged_values.push_back(seg->buffer[b].value);
+          ++b;
+        }
+      }
+    }
+
+    directory_.Erase(seg->first_key);
+    if (merged.empty()) {
+      // Every key of this segment was deleted: retire and free it. Its key
+      // range is absorbed by the floor rule (lookups fall to the left
+      // neighbor). Swap-and-pop keeps sustained delete/reinsert churn from
+      // growing segments_ without bound.
+      auto it = std::find_if(
+          segments_.begin(), segments_.end(),
+          [seg](const std::unique_ptr<SegmentData>& p) {
+            return p.get() == seg;
+          });
+      assert(it != segments_.end());
+      std::swap(*it, segments_.back());
+      segments_.pop_back();
+      --live_segments_;
+      ++stats_.segments_retired;
+      return;
+    }
 
     const auto models = SegmentShrinkingCone<K>(
         std::span<const K>(merged), config_.error, config_.feasibility);
     stats_.segments_created += models.size();
 
-    directory_.Erase(seg->first_key);
     // Reuse the merged segment's slot for the first replacement model and
     // append the rest.
     for (size_t m = 0; m < models.size(); ++m) {
@@ -264,6 +477,8 @@ class FitingTree {
       target->intercept = model.intercept - static_cast<double>(model.start);
       target->keys.assign(merged.begin() + model.start,
                           merged.begin() + model.start + model.length);
+      target->values.assign(merged_values.begin() + model.start,
+                            merged_values.begin() + model.start + model.length);
       target->buffer.clear();
       target->buffer.shrink_to_fit();
       directory_.Insert(model.first_key, target);

@@ -4,6 +4,11 @@
 // finish with a bounded search in the +/- error window. Because the data
 // stays in one flat sorted array, ranks are exact, which gives O(log)
 // RangeCount via rank subtraction (used by bench_range).
+//
+// The key set is immutable, but each key can carry a 64-bit payload
+// (values()); payloads default to the key's rank — the convention the
+// storage/ serializer shares — and are updatable in place, which is what
+// DiskFitingTree::Compact() rebuilds through.
 
 #ifndef FITREE_CORE_STATIC_FITING_TREE_H_
 #define FITREE_CORE_STATIC_FITING_TREE_H_
@@ -15,6 +20,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "btree/btree_map.h"
@@ -30,17 +36,34 @@ class StaticFitingTree {
       const std::vector<K>& keys, double error,
       SearchPolicy policy = SearchPolicy::kBinary,
       Feasibility feasibility = Feasibility::kEndpointLine) {
+    return Create(keys, {}, error, policy, feasibility);
+  }
+
+  // Bulk-loads `keys` with explicit rank->payload values (empty = payload
+  // is the rank itself, the serializer's default).
+  static std::unique_ptr<StaticFitingTree<K>> Create(
+      const std::vector<K>& keys, const std::vector<uint64_t>& values,
+      double error, SearchPolicy policy = SearchPolicy::kBinary,
+      Feasibility feasibility = Feasibility::kEndpointLine) {
     auto tree = std::make_unique<StaticFitingTree<K>>();
     tree->policy_ = policy;
     tree->feasibility_ = feasibility;
-    tree->BulkLoad(std::span<const K>(keys), error);
+    tree->BulkLoad(std::span<const K>(keys), std::span<const uint64_t>(values),
+                   error);
     return tree;
   }
 
-  // Replaces the contents with `keys` (sorted, duplicate-free).
   void BulkLoad(std::span<const K> keys, double error) {
+    BulkLoad(keys, {}, error);
+  }
+
+  // Replaces the contents with `keys` (sorted, duplicate-free) and their
+  // payloads (`values` empty keeps the rank convention).
+  void BulkLoad(std::span<const K> keys, std::span<const uint64_t> values,
+                double error) {
     error_ = error;
     data_.assign(keys.begin(), keys.end());
+    values_.assign(values.begin(), values.end());
     segments_ = SegmentShrinkingCone<K>(data_, error, feasibility_);
     std::vector<std::pair<K, uint32_t>> entries;
     entries.reserve(segments_.size());
@@ -67,17 +90,46 @@ class StaticFitingTree {
 
   bool Contains(const K& key) const { return Find(key).has_value(); }
 
+  // Payload stored for `key` (its rank when no explicit values were
+  // loaded), or nullopt when absent.
+  std::optional<uint64_t> Lookup(const K& key) const {
+    const auto rank = Find(key);
+    if (!rank.has_value()) return std::nullopt;
+    return values_.empty() ? static_cast<uint64_t>(*rank) : values_[*rank];
+  }
+
+  // Replaces the payload of a present key in place (the key set itself is
+  // immutable). Returns false when absent.
+  bool UpdatePayload(const K& key, uint64_t value) {
+    const auto rank = Find(key);
+    if (!rank.has_value()) return false;
+    if (values_.empty()) {
+      // Materialize the implicit rank payloads before the first override.
+      values_.resize(data_.size());
+      for (size_t i = 0; i < values_.size(); ++i) {
+        values_[i] = static_cast<uint64_t>(i);
+      }
+    }
+    values_[*rank] = value;
+    return true;
+  }
+
   // Number of keys in [lo, hi]: two rank lookups, no scan.
   size_t RangeCount(const K& lo, const K& hi) const {
     if (hi < lo) return 0;
     return UpperBound(hi) - LowerBound(lo);
   }
 
-  // Calls fn(key) for every key in [lo, hi] in ascending order.
+  // Calls fn(key) or fn(key, value) for every key in [lo, hi] ascending.
   template <typename Fn>
   void ScanRange(const K& lo, const K& hi, Fn fn) const {
     for (size_t i = LowerBound(lo); i < data_.size() && data_[i] <= hi; ++i) {
-      fn(data_[i]);
+      if constexpr (std::is_invocable_v<Fn&, const K&, const uint64_t&>) {
+        fn(data_[i],
+           values_.empty() ? static_cast<uint64_t>(i) : values_[i]);
+      } else {
+        fn(data_[i]);
+      }
     }
   }
 
@@ -100,6 +152,8 @@ class StaticFitingTree {
   int TreeHeight() const { return directory_.Height(); }
   double error() const { return error_; }
   const std::vector<K>& data() const { return data_; }
+  // Explicit payloads; empty means the implicit rank convention.
+  const std::vector<uint64_t>& values() const { return values_; }
   const std::vector<Segment<K>>& segments() const { return segments_; }
 
  private:
@@ -127,6 +181,7 @@ class StaticFitingTree {
   SearchPolicy policy_ = SearchPolicy::kBinary;
   Feasibility feasibility_ = Feasibility::kEndpointLine;
   std::vector<K> data_;
+  std::vector<uint64_t> values_;  // empty = payload is the rank
   std::vector<Segment<K>> segments_;
   btree::BTreeMap<K, uint32_t, 16, 16> directory_;
 };

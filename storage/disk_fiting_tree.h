@@ -1,10 +1,22 @@
 // Disk-resident FITing-Tree: the paper's segment-predict-then-bounded-
 // search lookup (Sec 4.1) run against an index file, with every leaf
-// access going through the buffer pool. The directory (B+ tree over
-// segment first-keys) and segment table stay in memory — they are the
-// "index" the paper sizes in Fig 6 — while the sorted key/payload pages
-// stay on disk and are cached page-granularly, which is exactly the
-// regime the Sec 5 cost model charges in pages.
+// access going through the buffer pool, plus a write path. The directory
+// (B+ tree over segment first-keys) and segment table stay in memory —
+// they are the "index" the paper sizes in Fig 6 — while the sorted
+// key/payload pages stay on disk and are cached page-granularly, which is
+// exactly the regime the Sec 5 cost model charges in pages.
+//
+// Writes never touch the file in place. Each base segment owns a small
+// in-memory delta — an ordered map of {key -> payload | tombstone} —
+// overlaid on the paged file: inserts and payload updates land there as
+// live entries, deletes of paged keys as tombstones. Reads consult the
+// delta first (no I/O), then fall through to the paged lookup. Because a
+// key's delta segment is its directory floor, the per-segment deltas
+// concatenate into one globally sorted stream, which is what lets scans
+// merge the overlay with the rank-contiguous leaves page by page. An
+// explicit Compact() folds every delta back into a freshly serialized
+// file (WriteIndexFile convention) via an atomic temp-file rename, after
+// which the overlay is empty and reads are pure page I/O again.
 //
 // The lookup shares core::ErrorWindow with StaticFitingTree::Bound, so a
 // serialized tree answers every query identically to its in-memory
@@ -16,14 +28,20 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "btree/btree_map.h"
 #include "common/io_stats.h"
+#include "core/fiting_tree.h"
 #include "core/shrinking_cone.h"
+#include "core/static_fiting_tree.h"
 #include "storage/buffer_pool.h"
 #include "storage/segment_file.h"
 
@@ -43,22 +61,16 @@ class DiskFitingTree {
   static std::unique_ptr<DiskFitingTree<K>> Open(const std::string& path,
                                                  const Options& options = {}) {
     auto tree = std::unique_ptr<DiskFitingTree<K>>(new DiskFitingTree<K>());
-    if (!tree->reader_.Open(path)) return nullptr;
-    if (!tree->reader_.ReadSegmentTable(&tree->segments_)) return nullptr;
-    tree->pool_ = std::make_unique<BufferPool>(
-        &tree->reader_, tree->reader_.page_bytes(),
-        std::max<size_t>(1, options.cache_pages));
-    std::vector<std::pair<K, uint32_t>> entries;
-    entries.reserve(tree->segments_.size());
-    for (size_t i = 0; i < tree->segments_.size(); ++i) {
-      entries.emplace_back(tree->segments_[i].first_key,
-                           static_cast<uint32_t>(i));
-    }
-    tree->directory_.BulkLoad(std::move(entries));
+    tree->path_ = path;
+    tree->options_ = options;
+    if (!tree->Load(path)) return nullptr;
     return tree;
   }
 
-  size_t size() const { return reader_.meta().key_count; }
+  // Live key count: base file plus pending inserts minus pending deletes.
+  size_t size() const { return size_; }
+  // Keys in the base file (delta overlay excluded).
+  size_t base_size() const { return reader_.meta().key_count; }
   double error() const { return reader_.meta().error; }
   size_t SegmentCount() const { return segments_.size(); }
   uint64_t LeafPageCount() const { return reader_.meta().leaf_page_count; }
@@ -66,26 +78,37 @@ class DiskFitingTree {
     return reader_.page_count() * reader_.page_bytes();
   }
   int TreeHeight() const { return directory_.Height(); }
+  const std::string& path() const { return path_; }
+
+  // Pending overlay entries (live + tombstones) and completed compactions.
+  size_t DeltaEntries() const { return delta_entries_; }
+  uint64_t Compactions() const { return compactions_; }
 
   // True once any page read has failed verification; results after that
   // point are best-effort (lookups report "absent").
   bool io_error() const { return io_error_; }
 
-  // In-memory index footprint: directory plus segment table (the leaf
-  // pages are data, cached separately — see CacheCapacityBytes()).
+  // In-memory index footprint: directory plus segment table plus the delta
+  // overlay (the leaf pages are data, cached separately — see
+  // CacheCapacityBytes()). Overlay entries are charged at std::map node
+  // cost: payload plus three tree pointers and the color word.
   size_t IndexSizeBytes() const {
+    constexpr size_t kDeltaNodeBytes =
+        sizeof(K) + sizeof(DeltaEntry) + 4 * sizeof(void*);
     return directory_.MemoryBytes() +
-           segments_.size() * sizeof(PackedSegment<K>);
+           segments_.size() * sizeof(PackedSegment<K>) +
+           delta_entries_ * kDeltaNodeBytes;
   }
   size_t CacheCapacityBytes() const { return pool_->CapacityBytes(); }
 
   const IoStats& io() const { return pool_->stats(); }
   void ResetIoStats() { pool_->ResetStats(); }
 
-  // Rank of the first key >= `key` (insertion point), as in the in-memory
-  // tree, but every candidate page is faulted through the buffer pool.
+  // Rank of the first key >= `key` in the BASE FILE (insertion point over
+  // the paged keys; the delta overlay has no ranks until Compact folds it
+  // in). Every candidate page is faulted through the buffer pool.
   size_t LowerBound(const K& key) {
-    if (size() == 0) return 0;
+    if (base_size() == 0) return 0;
     const uint32_t* id = directory_.FindFloor(key);
     if (id == nullptr) return 0;  // key sorts before every indexed key
     const PackedSegment<K>& seg = segments_[*id];
@@ -96,51 +119,264 @@ class DiskFitingTree {
     return WindowLowerBound(begin, end, key);
   }
 
-  // Payload stored for `key`, or nullopt when absent.
+  // Payload stored for `key`, or nullopt when absent. The delta overlay
+  // overrides the file: a tombstone hides the paged key, a live entry
+  // supersedes (or precedes) it.
   std::optional<uint64_t> Lookup(const K& key) {
-    const size_t rank = LowerBound(key);
-    if (rank >= size()) return std::nullopt;
-    const auto entry = EntryAt(rank);
-    if (!entry.has_value() || entry->key != key) return std::nullopt;
-    return entry->value;
+    const DeltaMap& delta = DeltaFor(key);
+    const auto it = delta.find(key);
+    if (it != delta.end()) {
+      if (it->second.tombstone) return std::nullopt;
+      return it->second.value;
+    }
+    return BaseLookup(key);
   }
 
   bool Contains(const K& key) { return Lookup(key).has_value(); }
 
-  // Calls fn(key, value) for every entry in [lo, hi] ascending; returns the
-  // number emitted. One page fault per touched leaf page.
+  // Inserts `key` -> `value` into the delta overlay. Returns true iff the
+  // key was new (set semantics); inserting a key present in the base file
+  // or overlay returns false without touching anything.
+  bool Insert(const K& key, uint64_t value) {
+    DeltaMap& delta = DeltaFor(key);
+    const auto it = delta.find(key);
+    if (it != delta.end()) {
+      if (!it->second.tombstone) return false;
+      // Delete-then-reinsert of a paged key: resurrect as a live override.
+      it->second = DeltaEntry{value, false};
+      ++size_;
+      return true;
+    }
+    if (BaseLookup(key).has_value()) return false;
+    delta.emplace(key, DeltaEntry{value, false});
+    ++delta_entries_;
+    ++size_;
+    return true;
+  }
+
+  // Replaces the payload of a present key (a paged key gets a live
+  // override in the overlay). Returns false when absent.
+  bool Update(const K& key, uint64_t value) {
+    DeltaMap& delta = DeltaFor(key);
+    const auto it = delta.find(key);
+    if (it != delta.end()) {
+      if (it->second.tombstone) return false;
+      it->second.value = value;
+      return true;
+    }
+    if (!BaseLookup(key).has_value()) return false;
+    delta.emplace(key, DeltaEntry{value, false});
+    ++delta_entries_;
+    return true;
+  }
+
+  // Removes `key`. A paged key gets a tombstone (cleared by Compact); an
+  // overlay-only key is dropped outright. Returns false when absent.
+  bool Delete(const K& key) {
+    DeltaMap& delta = DeltaFor(key);
+    const auto it = delta.find(key);
+    if (it != delta.end()) {
+      if (it->second.tombstone) return false;
+      if (BaseLookup(key).has_value()) {
+        it->second = DeltaEntry{0, true};  // hide the paged copy
+      } else {
+        delta.erase(it);
+        --delta_entries_;
+      }
+      --size_;
+      return true;
+    }
+    if (!BaseLookup(key).has_value()) return false;
+    delta.emplace(key, DeltaEntry{0, true});
+    ++delta_entries_;
+    --size_;
+    return true;
+  }
+
+  // Calls fn(key, value) for every live entry in [lo, hi] ascending —
+  // paged leaves merged with the delta overlay on the fly — and returns
+  // the number emitted. One page fault per touched leaf page.
   template <typename Fn>
   size_t ScanRange(const K& lo, const K& hi, Fn fn) {
-    if (size() == 0 || hi < lo) return 0;
-    const size_t cap = reader_.meta().leaf_capacity;
-    size_t rank = LowerBound(lo);
+    if (hi < lo) return 0;
+    DeltaCursor cursor = DeltaCursorAt(lo);
     size_t emitted = 0;
-    while (rank < size()) {
+    const size_t base_n = base_size();
+    const size_t cap = base_n > 0 ? reader_.meta().leaf_capacity : 1;
+    size_t rank = base_n > 0 ? LowerBound(lo) : base_n;
+    while (rank < base_n) {
       const uint64_t leaf = rank / cap;
       PinnedPage pin(pool_.get(), reader_.LeafPageId(leaf));
       if (!pin) {
         io_error_ = true;
         return emitted;
       }
-      const size_t page_end = std::min(size(), (leaf + 1) * cap);
+      const size_t page_end = std::min(base_n, (leaf + 1) * cap);
       for (; rank < page_end; ++rank) {
         const auto entry = LoadAs<LeafEntry<K>>(
             pin.data() + kPageHeaderBytes + (rank % cap) * sizeof(LeafEntry<K>));
-        if (hi < entry.key) return emitted;
+        if (hi < entry.key) {
+          return emitted + DrainDelta(&cursor, entry.key, hi, fn);
+        }
+        // Overlay entries strictly below this paged key are pure inserts;
+        // an entry equal to it is a tombstone or payload override.
+        emitted += DrainDelta(&cursor, entry.key, hi, fn);
+        const auto shadow = PeekDelta(cursor);
+        if (shadow != nullptr && shadow->first == entry.key) {
+          if (!shadow->second.tombstone) {
+            fn(entry.key, shadow->second.value);
+            ++emitted;
+          }
+          AdvanceDelta(&cursor);
+          continue;
+        }
         fn(entry.key, entry.value);
         ++emitted;
       }
     }
-    return emitted;
+    // Base exhausted: the overlay's tail (pure inserts beyond the last
+    // paged key in range) is all that remains.
+    return emitted + DrainDelta(&cursor, std::nullopt, hi, fn);
   }
 
-  // Number of keys in [lo, hi] via a counting scan.
+  // Number of live keys in [lo, hi] via a counting scan.
   size_t RangeCount(const K& lo, const K& hi) {
     return ScanRange(lo, hi, [](const K&, uint64_t) {});
   }
 
+  // Folds the delta overlay into a freshly serialized index file: scans
+  // the merged view, re-segments it with the shrinking cone at the stored
+  // error bound, writes a temp file in the same page layout, atomically
+  // renames it over the original, and reopens. Returns false (leaving the
+  // original file and overlay untouched) if the rewrite fails.
+  bool Compact() {
+    std::vector<K> keys;
+    std::vector<uint64_t> values;
+    keys.reserve(size_);
+    values.reserve(size_);
+    ScanRange(std::numeric_limits<K>::min(), std::numeric_limits<K>::max(),
+              [&](const K& k, uint64_t v) {
+                keys.push_back(k);
+                values.push_back(v);
+              });
+    if (io_error_) return false;
+    const double err = reader_.meta().error;
+    const SegmentFileOptions file_options{reader_.page_bytes()};
+    const auto tree = StaticFitingTree<K>::Create(keys, values, err);
+    const std::string tmp = path_ + ".compact";
+    if (!WriteIndexFile(tmp, *tree, file_options)) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+    if (!Load(path_)) {
+      io_error_ = true;
+      return false;
+    }
+    ++compactions_;
+    return true;
+  }
+
  private:
   DiskFitingTree() = default;
+
+  struct DeltaEntry {
+    uint64_t value = 0;
+    bool tombstone = false;
+  };
+  using DeltaMap = std::map<K, DeltaEntry>;
+
+  // (Re)loads reader, pool, segment table, directory, and resets the
+  // overlay. Compactions_ survives; everything else derives from the file.
+  bool Load(const std::string& path) {
+    directory_ = btree::BTreeMap<K, uint32_t, 16, 16>();
+    if (!reader_.Open(path)) return false;
+    if (!reader_.ReadSegmentTable(&segments_)) return false;
+    pool_ = std::make_unique<BufferPool>(
+        &reader_, reader_.page_bytes(),
+        std::max<size_t>(1, options_.cache_pages));
+    std::vector<std::pair<K, uint32_t>> entries;
+    entries.reserve(segments_.size());
+    for (size_t i = 0; i < segments_.size(); ++i) {
+      entries.emplace_back(segments_[i].first_key, static_cast<uint32_t>(i));
+    }
+    directory_.BulkLoad(std::move(entries));
+    deltas_.assign(std::max<size_t>(1, segments_.size()), DeltaMap{});
+    delta_entries_ = 0;
+    size_ = reader_.meta().key_count;
+    return true;
+  }
+
+  // Overlay segment for `key`: its directory floor, else segment 0 (keys
+  // below every first key, and the whole keyspace of an empty base file).
+  size_t DeltaSlot(const K& key) const {
+    const uint32_t* id = directory_.FindFloor(key);
+    return id == nullptr ? 0 : static_cast<size_t>(*id);
+  }
+  DeltaMap& DeltaFor(const K& key) { return deltas_[DeltaSlot(key)]; }
+
+  // Cursor over the concatenation of per-segment deltas — globally sorted
+  // because each key's slot is its directory floor.
+  struct DeltaCursor {
+    size_t slot = 0;
+    typename DeltaMap::const_iterator it;
+  };
+
+  DeltaCursor DeltaCursorAt(const K& lo) {
+    DeltaCursor c;
+    c.slot = DeltaSlot(lo);
+    c.it = deltas_[c.slot].lower_bound(lo);
+    SkipEmptySlots(&c);
+    return c;
+  }
+
+  void SkipEmptySlots(DeltaCursor* c) {
+    while (c->it == deltas_[c->slot].end() && c->slot + 1 < deltas_.size()) {
+      ++c->slot;
+      c->it = deltas_[c->slot].begin();
+    }
+  }
+
+  const std::pair<const K, DeltaEntry>* PeekDelta(const DeltaCursor& c) const {
+    return c.it == deltas_[c.slot].end() ? nullptr : &*c.it;
+  }
+
+  void AdvanceDelta(DeltaCursor* c) {
+    ++c->it;
+    SkipEmptySlots(c);
+  }
+
+  // Emits the cursor's live entries with key <= `hi` and key < `before`
+  // (no bound when nullopt), skipping tombstones; returns the emit count.
+  template <typename Fn>
+  size_t DrainDelta(DeltaCursor* c, std::optional<K> before, const K& hi,
+                    Fn& fn) {
+    size_t emitted = 0;
+    for (const auto* e = PeekDelta(*c);
+         e != nullptr && e->first <= hi &&
+         (!before.has_value() || e->first < *before);
+         e = PeekDelta(*c)) {
+      if (!e->second.tombstone) {
+        fn(e->first, e->second.value);
+        ++emitted;
+      }
+      AdvanceDelta(c);
+    }
+    return emitted;
+  }
+
+  // Paged lookup, delta overlay excluded.
+  std::optional<uint64_t> BaseLookup(const K& key) {
+    if (base_size() == 0) return std::nullopt;
+    const size_t rank = LowerBound(key);
+    if (rank >= base_size()) return std::nullopt;
+    const auto entry = EntryAt(rank);
+    if (!entry.has_value() || entry->key != key) return std::nullopt;
+    return entry->value;
+  }
 
   std::optional<LeafEntry<K>> EntryAt(size_t rank) {
     const size_t cap = reader_.meta().leaf_capacity;
@@ -186,10 +422,16 @@ class DiskFitingTree {
     return end;
   }
 
+  std::string path_;
+  Options options_;
   SegmentFileReader<K> reader_;
   std::unique_ptr<BufferPool> pool_;
   std::vector<PackedSegment<K>> segments_;
   btree::BTreeMap<K, uint32_t, 16, 16> directory_;
+  std::vector<DeltaMap> deltas_;  // parallel to segments_ (>= 1 slot)
+  size_t delta_entries_ = 0;      // live + tombstone entries across slots
+  size_t size_ = 0;               // live keys: base + inserts - deletes
+  uint64_t compactions_ = 0;
   bool io_error_ = false;
 };
 

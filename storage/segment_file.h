@@ -175,14 +175,15 @@ bool WriteSegmentFile(const std::string& path, std::span<const K> keys,
   return ok;
 }
 
-// Serializes a built in-memory tree (payload = rank), using its exported
-// segment table and stored error bound.
+// Serializes a built in-memory tree using its exported segment table and
+// stored error bound. The tree's explicit payloads are written when
+// present; otherwise the payload is the rank (the shared convention).
 template <typename K>
 bool WriteIndexFile(const std::string& path, const StaticFitingTree<K>& tree,
                     const SegmentFileOptions& opts = {}) {
   const auto segments = tree.ExportSegmentTable();
   return WriteSegmentFile<K>(path, std::span<const K>(tree.data()),
-                             std::span<const uint64_t>(),
+                             std::span<const uint64_t>(tree.values()),
                              std::span<const PackedSegment<K>>(segments),
                              tree.error(), opts);
 }

@@ -1,0 +1,373 @@
+// Shared randomized differential-test driver: replays one seeded stream of
+// insert/update/delete/lookup/scan operations against an engine under test
+// AND a std::map oracle, asserting after every operation that the engine's
+// bool/optional/scan results match the oracle exactly. The core,
+// concurrent, and disk suites all reuse this driver (the ISSUE-5 "one
+// harness, three engines" rule) instead of growing per-suite stress loops.
+//
+// Engine contract (duck-typed):
+//   bool Insert(int64_t key, uint64_t value);   // true iff key was new
+//   bool Update(int64_t key, uint64_t value);   // true iff key was present
+//   bool Delete(int64_t key);                   // true iff key was present
+//   std::optional<uint64_t> Lookup(int64_t key);
+//   void/size_t ScanRange(lo, hi, fn(key, value));  // live entries, sorted
+//   size_t size();
+//
+// Every assertion is wrapped in a SCOPED_TRACE carrying the seed, so a
+// failing run prints the seed to replay it; call sites must wrap the
+// driver in ASSERT_NO_FATAL_FAILURE so a mid-stream mismatch aborts the
+// whole test. FITREE_PROPERTY_OPS overrides the op count — the CI
+// sanitizer jobs crank it up via the `property` ctest label.
+
+#ifndef FITREE_TESTS_ORACLE_H_
+#define FITREE_TESTS_ORACLE_H_
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fitree::testing {
+
+// Op-type weights; normalized internally, so {3, 1, 1, 4, 1} reads as
+// ratios, not probabilities.
+struct CrudMix {
+  double insert = 0.25;
+  double update = 0.15;
+  double del = 0.15;
+  double lookup = 0.35;
+  double scan = 0.10;
+};
+
+struct CrudOptions {
+  uint64_t seed = 1;
+  size_t ops = 20000;
+  CrudMix mix;
+  // Keys are key_min + u * key_stride for u uniform in [0, key_space): a
+  // bounded universe, so inserts collide with earlier inserts, deletes hit
+  // live keys, and delete-then-reinsert happens organically. stride > 1
+  // leaves gaps so absent probes exist between live keys.
+  int64_t key_min = 0;
+  size_t key_space = 20000;
+  int64_t key_stride = 3;
+  size_t scan_span = 64;  // max scan width, in universe slots
+  // Invoked every checkpoint_every ops (and once at the end) — suites hook
+  // engine-specific maintenance here (disk Compact, concurrent quiesce).
+  size_t checkpoint_every = 4096;
+  std::function<void()> checkpoint;
+};
+
+// Op count for the property suites: FITREE_PROPERTY_OPS when set (>0),
+// else `fallback`.
+inline size_t PropertyOps(size_t fallback) {
+  const char* env = std::getenv("FITREE_PROPERTY_OPS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const long long parsed = std::atoll(env);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+// Deterministic initial load for a bounded-universe run: every
+// `load_every`-th universe slot, payload derived from the key. Feed the
+// result to the engine's bulk Create AND to `oracle`.
+inline void MakeInitialLoad(const CrudOptions& opt, size_t load_every,
+                            std::vector<int64_t>* keys,
+                            std::vector<uint64_t>* values,
+                            std::map<int64_t, uint64_t>* oracle) {
+  keys->clear();
+  values->clear();
+  for (size_t u = 0; u < opt.key_space; u += load_every) {
+    const int64_t key =
+        opt.key_min + static_cast<int64_t>(u) * opt.key_stride;
+    const uint64_t value = 0x9E3779B97F4A7C15ull * static_cast<uint64_t>(u);
+    keys->push_back(key);
+    values->push_back(value);
+    if (oracle != nullptr) (*oracle)[key] = value;
+  }
+}
+
+// Single-threaded differential run: `index` must already agree with
+// `oracle` (e.g. both empty, or both seeded via MakeInitialLoad). Wrap the
+// call in ASSERT_NO_FATAL_FAILURE.
+template <typename Index>
+void RunCrudDifferential(Index& index, std::map<int64_t, uint64_t>& oracle,
+                         const CrudOptions& opt) {
+  SCOPED_TRACE("differential stream: seed=" + std::to_string(opt.seed) +
+               " ops=" + std::to_string(opt.ops));
+  std::mt19937_64 rng(opt.seed);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  const double total =
+      opt.mix.insert + opt.mix.update + opt.mix.del + opt.mix.lookup +
+      opt.mix.scan;
+  ASSERT_GT(total, 0.0);
+  const double c_insert = opt.mix.insert / total;
+  const double c_update = c_insert + opt.mix.update / total;
+  const double c_del = c_update + opt.mix.del / total;
+  const double c_lookup = c_del + opt.mix.lookup / total;
+
+  const auto random_key = [&] {
+    return opt.key_min +
+           static_cast<int64_t>(rng() % opt.key_space) * opt.key_stride;
+  };
+
+  using Entry = std::pair<int64_t, uint64_t>;
+  std::vector<Entry> got;
+  std::vector<Entry> want;
+  for (size_t i = 0; i < opt.ops; ++i) {
+    const double draw = unif(rng);
+    if (draw < c_insert) {
+      const int64_t k = random_key();
+      const uint64_t v = rng();
+      const bool expect = oracle.emplace(k, v).second;
+      ASSERT_EQ(index.Insert(k, v), expect) << "op " << i << ": Insert(" << k
+                                            << ")";
+    } else if (draw < c_update) {
+      const int64_t k = random_key();
+      const uint64_t v = rng();
+      const auto it = oracle.find(k);
+      const bool expect = it != oracle.end();
+      if (expect) it->second = v;
+      ASSERT_EQ(index.Update(k, v), expect) << "op " << i << ": Update(" << k
+                                            << ")";
+    } else if (draw < c_del) {
+      const int64_t k = random_key();
+      const bool expect = oracle.erase(k) > 0;
+      ASSERT_EQ(index.Delete(k), expect) << "op " << i << ": Delete(" << k
+                                         << ")";
+    } else if (draw < c_lookup) {
+      const int64_t k = random_key();
+      const auto it = oracle.find(k);
+      const std::optional<uint64_t> expect =
+          it == oracle.end() ? std::nullopt
+                             : std::optional<uint64_t>(it->second);
+      ASSERT_EQ(index.Lookup(k), expect) << "op " << i << ": Lookup(" << k
+                                         << ")";
+    } else {
+      const int64_t lo = random_key();
+      const int64_t hi =
+          lo + static_cast<int64_t>(rng() % (opt.scan_span + 1)) *
+                   opt.key_stride;
+      got.clear();
+      index.ScanRange(lo, hi,
+                      [&](int64_t k, uint64_t v) { got.emplace_back(k, v); });
+      want.assign(oracle.lower_bound(lo), oracle.upper_bound(hi));
+      ASSERT_EQ(got, want) << "op " << i << ": ScanRange(" << lo << ", " << hi
+                           << ")";
+    }
+    if (opt.checkpoint_every > 0 && (i + 1) % opt.checkpoint_every == 0) {
+      if (opt.checkpoint) opt.checkpoint();
+      ASSERT_EQ(index.size(), oracle.size()) << "after op " << i;
+    }
+  }
+
+  if (opt.checkpoint) opt.checkpoint();
+  ASSERT_EQ(index.size(), oracle.size());
+  got.clear();
+  index.ScanRange(opt.key_min,
+                  opt.key_min + static_cast<int64_t>(opt.key_space) *
+                                    opt.key_stride,
+                  [&](int64_t k, uint64_t v) { got.emplace_back(k, v); });
+  want.assign(oracle.begin(), oracle.end());
+  ASSERT_EQ(got, want) << "final full scan";
+}
+
+// ---- Partitioned multi-threaded differential run ------------------------
+//
+// Thread t owns the keys key_min + (u * threads + t) * key_stride: the
+// partitions interleave slot-by-slot, so every segment holds keys from
+// every thread (real latch/merge contention), yet no thread ever touches
+// another's keys. That makes each thread's std::map oracle EXACT — every
+// Insert/Update/Delete/Lookup return value is asserted inline, mid-run,
+// under full concurrency, not just at a quiesced end state. Scans verify
+// global sortedness plus exact agreement on the scanning thread's own
+// slice. Results are collected per thread (first failure wins) rather than
+// asserted from worker threads.
+
+struct PartitionedCrudResult {
+  bool failed = false;
+  std::string message;
+  std::map<int64_t, uint64_t> oracle;  // the thread's final key->value map
+};
+
+// Initial bulk load for a partitioned run: every `load_every`-th universe
+// slot of every thread's partition, seeded into `oracles[t]`.
+inline void MakePartitionedLoad(const CrudOptions& opt, int threads,
+                                size_t load_every, std::vector<int64_t>* keys,
+                                std::vector<uint64_t>* values,
+                                std::vector<std::map<int64_t, uint64_t>>*
+                                    oracles) {
+  keys->clear();
+  values->clear();
+  oracles->assign(static_cast<size_t>(threads), {});
+  for (size_t u = 0; u < opt.key_space; u += load_every) {
+    for (int t = 0; t < threads; ++t) {
+      const int64_t key =
+          opt.key_min +
+          (static_cast<int64_t>(u) * threads + t) * opt.key_stride;
+      const uint64_t value =
+          0x9E3779B97F4A7C15ull * static_cast<uint64_t>(u * threads + t);
+      keys->push_back(key);
+      values->push_back(value);
+      (*oracles)[static_cast<size_t>(t)][key] = value;
+    }
+  }
+}
+
+template <typename Index>
+void RunPartitionedCrudThread(Index& index, const CrudOptions& opt,
+                              int threads, int t,
+                              std::atomic<bool>& stop,
+                              PartitionedCrudResult* result) {
+  std::mt19937_64 rng(opt.seed + 0x9E3779B97F4A7C15ull *
+                                     static_cast<uint64_t>(t + 1));
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  const double total = opt.mix.insert + opt.mix.update + opt.mix.del +
+                       opt.mix.lookup + opt.mix.scan;
+  const double c_insert = opt.mix.insert / total;
+  const double c_update = c_insert + opt.mix.update / total;
+  const double c_del = c_update + opt.mix.del / total;
+  const double c_lookup = c_del + opt.mix.lookup / total;
+  std::map<int64_t, uint64_t>& oracle = result->oracle;
+
+  const auto own_key = [&] {
+    const int64_t u = static_cast<int64_t>(rng() % opt.key_space);
+    return opt.key_min + (u * threads + t) * opt.key_stride;
+  };
+  const auto fail = [&](size_t i, const std::string& what) {
+    std::ostringstream os;
+    os << "thread " << t << " op " << i << " (seed " << opt.seed
+       << "): " << what;
+    result->failed = true;
+    result->message = os.str();
+    stop.store(true, std::memory_order_relaxed);
+  };
+
+  std::vector<std::pair<int64_t, uint64_t>> scanned;
+  for (size_t i = 0; i < opt.ops && !stop.load(std::memory_order_relaxed);
+       ++i) {
+    const double draw = unif(rng);
+    if (draw < c_insert) {
+      const int64_t k = own_key();
+      const uint64_t v = rng();
+      const bool expect = oracle.emplace(k, v).second;
+      if (index.Insert(k, v) != expect) {
+        return fail(i, "Insert(" + std::to_string(k) + ") != " +
+                           std::to_string(expect));
+      }
+    } else if (draw < c_update) {
+      const int64_t k = own_key();
+      const uint64_t v = rng();
+      const auto it = oracle.find(k);
+      const bool expect = it != oracle.end();
+      if (expect) it->second = v;
+      if (index.Update(k, v) != expect) {
+        return fail(i, "Update(" + std::to_string(k) + ") != " +
+                           std::to_string(expect));
+      }
+    } else if (draw < c_del) {
+      const int64_t k = own_key();
+      const bool expect = oracle.erase(k) > 0;
+      if (index.Delete(k) != expect) {
+        return fail(i, "Delete(" + std::to_string(k) + ") != " +
+                           std::to_string(expect));
+      }
+    } else if (draw < c_lookup) {
+      const int64_t k = own_key();
+      const auto it = oracle.find(k);
+      const std::optional<uint64_t> expect =
+          it == oracle.end() ? std::nullopt
+                             : std::optional<uint64_t>(it->second);
+      if (index.Lookup(k) != expect) {
+        return fail(i, "Lookup(" + std::to_string(k) + ") mismatch");
+      }
+    } else {
+      const int64_t lo = own_key();
+      const int64_t hi = lo + static_cast<int64_t>(rng() % (opt.scan_span + 1)) *
+                                  opt.key_stride * threads;
+      scanned.clear();
+      index.ScanRange(lo, hi, [&](int64_t k, uint64_t v) {
+        scanned.emplace_back(k, v);
+      });
+      // Global sortedness (strict: no duplicates within one snapshot).
+      for (size_t s = 1; s < scanned.size(); ++s) {
+        if (scanned[s - 1].first >= scanned[s].first) {
+          return fail(i, "scan not strictly sorted");
+        }
+      }
+      // Exactness on the scanning thread's own slice: nobody else mutates
+      // these keys, and this thread is sequential, so the snapshot must
+      // agree with the oracle exactly.
+      auto it = oracle.lower_bound(lo);
+      for (const auto& [k, v] : scanned) {
+        if ((k - opt.key_min) / opt.key_stride % threads != t) continue;
+        if (it == oracle.end() || it->first != k || it->second != v) {
+          return fail(i, "scan slice mismatch at key " + std::to_string(k));
+        }
+        ++it;
+      }
+      if (it != oracle.end() && it->first <= hi) {
+        return fail(i, "scan missed own key " + std::to_string(it->first));
+      }
+    }
+  }
+}
+
+// Drives `threads` workers over disjoint interleaved partitions of the key
+// universe. After the run (and `quiesce`, e.g. ConcurrentFitingTree::
+// QuiesceMerges), the merged per-thread oracles must equal the index's
+// size and full-scan contents. Wrap in ASSERT_NO_FATAL_FAILURE.
+template <typename Index>
+void RunPartitionedCrud(Index& index, int threads, const CrudOptions& opt,
+                        std::vector<std::map<int64_t, uint64_t>> oracles,
+                        const std::function<void()>& quiesce = {}) {
+  SCOPED_TRACE("partitioned stream: seed=" + std::to_string(opt.seed) +
+               " threads=" + std::to_string(threads) +
+               " ops/thread=" + std::to_string(opt.ops));
+  ASSERT_EQ(oracles.size(), static_cast<size_t>(threads));
+  std::vector<PartitionedCrudResult> results(
+      static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    results[static_cast<size_t>(t)].oracle =
+        std::move(oracles[static_cast<size_t>(t)]);
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      RunPartitionedCrudThread(index, opt, threads, t, stop,
+                               &results[static_cast<size_t>(t)]);
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const auto& r : results) {
+    ASSERT_FALSE(r.failed) << r.message;
+  }
+  if (quiesce) quiesce();
+
+  std::map<int64_t, uint64_t> merged;
+  for (auto& r : results) merged.insert(r.oracle.begin(), r.oracle.end());
+  ASSERT_EQ(index.size(), merged.size());
+  std::vector<std::pair<int64_t, uint64_t>> got;
+  index.ScanRange(
+      opt.key_min,
+      opt.key_min +
+          static_cast<int64_t>(opt.key_space) * opt.key_stride * threads,
+      [&](int64_t k, uint64_t v) { got.emplace_back(k, v); });
+  const std::vector<std::pair<int64_t, uint64_t>> want(merged.begin(),
+                                                       merged.end());
+  ASSERT_EQ(got, want) << "final full scan after quiesce";
+}
+
+}  // namespace fitree::testing
+
+#endif  // FITREE_TESTS_ORACLE_H_

@@ -1,7 +1,8 @@
 // Tests for the concurrency/ subsystem: epoch reclamation, the
 // sequence-validated segment latch, the background merge worker, and the
-// ConcurrentFitingTree itself — sequential correctness, multi-threaded
-// stress against a mutex-protected reference, and a no-leak shutdown
+// ConcurrentFitingTree itself — sequential CRUD correctness against the
+// shared differential driver (tests/oracle.h), multi-threaded partitioned
+// CRUD stress with exact per-thread oracles, and a no-leak shutdown
 // assertion for the epoch retire list.
 
 #include <gtest/gtest.h>
@@ -9,6 +10,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <set>
 #include <thread>
 #include <vector>
@@ -20,6 +23,7 @@
 #include "concurrency/seg_latch.h"
 #include "core/fiting_tree.h"
 #include "datasets/datasets.h"
+#include "tests/oracle.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -31,10 +35,13 @@ using fitree::EpochManager;
 using fitree::MergeWorker;
 using fitree::MutexFitingTree;
 using fitree::SegLatch;
+using fitree::testing::CrudOptions;
+using fitree::testing::MakeInitialLoad;
+using fitree::testing::MakePartitionedLoad;
+using fitree::testing::PropertyOps;
+using fitree::testing::RunCrudDifferential;
+using fitree::testing::RunPartitionedCrud;
 using fitree::workloads::Access;
-using fitree::workloads::Op;
-using fitree::workloads::OpMix;
-using fitree::workloads::OpType;
 
 int StressThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -224,90 +231,36 @@ TEST(ConcurrentFitingTree, EmptyTreeBootstrap) {
 
 // ---- ConcurrentFitingTree: multi-threaded stress ----
 
-// Shared harness: `threads` workers replay deterministic per-thread streams
-// (ThreadSeed-seeded) of inserts, lookups and scans. During the run every
-// lookup of an initially loaded key must hit (bulk-loaded keys never
-// disappear, merges included) and scans must come back sorted and
-// duplicate-free. Afterwards the tree must agree exactly with a std::set
-// reference built from the op log, and with a MutexFitingTree replaying
-// the same streams.
+// Shared harness (tests/oracle.h): `threads` workers drive full CRUD over
+// disjoint interleaved key partitions, so every worker checks each
+// Insert/Update/Delete/Lookup return inline against its own exact
+// std::map oracle while merges churn shared segments underneath. The
+// quiesced end state must equal the merged oracles, and the epoch retire
+// list must drain clean.
 void RunStress(bool background_merge) {
-  const auto keys = fitree::datasets::Weblogs(30000, 13);
+  const int threads = StressThreads();
+  CrudOptions opt;
+  opt.seed = 0x57E55;
+  opt.ops = PropertyOps(20000);
+  opt.key_space = 8000;
+  opt.mix = {.insert = 0.3, .update = 0.15, .del = 0.15, .lookup = 0.3,
+             .scan = 0.1};
+
+  std::vector<int64_t> keys;
+  std::vector<uint64_t> values;
+  std::vector<std::map<int64_t, uint64_t>> oracles;
+  MakePartitionedLoad(opt, threads, /*load_every=*/2, &keys, &values,
+                      &oracles);
+
   ConcurrentFitingTreeConfig config;
   config.error = 64.0;
   config.buffer_size = 8;  // merge-heavy on purpose
   config.background_merge = background_merge;
-  auto tree = ConcurrentFitingTree<int64_t>::Create(keys, config);
+  auto tree = ConcurrentFitingTree<int64_t>::Create(keys, values, config);
 
-  fitree::FitingTreeConfig ref_config;
-  ref_config.error = 64.0;
-  ref_config.buffer_size = 8;
-  auto mutex_tree = MutexFitingTree<int64_t>::Create(keys, ref_config);
-
-  const int threads = StressThreads();
-  const OpMix mix{.read = 0.5, .insert = 0.4, .scan = 0.1};
-  const auto streams = fitree::workloads::MakeThreadOpStreams<int64_t>(
-      keys, threads, 20000, mix, Access::kUniform, 0.0005, 99);
-
-  std::atomic<bool> failed{false};
-  std::vector<std::thread> workers;
-  for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      const auto& ops = streams[static_cast<size_t>(t)];
-      for (size_t i = 0; i < ops.size() && !failed.load(); ++i) {
-        const Op<int64_t>& op = ops[i];
-        switch (op.type) {
-          case OpType::kRead:
-            tree->Contains(op.key);
-            mutex_tree->Contains(op.key);
-            break;
-          case OpType::kInsert:
-            tree->Insert(op.key);
-            mutex_tree->Insert(op.key);
-            if (!tree->Contains(op.key)) failed.store(true);
-            break;
-          case OpType::kScan: {
-            int64_t prev = op.key - 1;
-            bool sorted = true;
-            tree->ScanRange(op.key, op.hi, [&](int64_t k) {
-              sorted = sorted && k > prev;
-              prev = k;
-            });
-            if (!sorted) failed.store(true);
-            break;
-          }
-        }
-        // Bulk-loaded keys are never lost, merges notwithstanding.
-        if (i % 256 == 0 && !tree->Contains(keys[(i * 7919) % keys.size()])) {
-          failed.store(true);
-        }
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-  ASSERT_FALSE(failed.load());
-  tree->QuiesceMerges();
-
-  std::set<int64_t> ref(keys.begin(), keys.end());
-  for (const auto& stream : streams) {
-    for (const Op<int64_t>& op : stream) {
-      if (op.type == OpType::kInsert) ref.insert(op.key);
-    }
-  }
-  ASSERT_EQ(tree->size(), ref.size());
-  ASSERT_EQ(mutex_tree->size(), ref.size());
-  for (const auto& stream : streams) {
-    for (const Op<int64_t>& op : stream) {
-      if (op.type == OpType::kInsert) {
-        ASSERT_TRUE(tree->Contains(op.key)) << op.key;
-      }
-    }
-  }
-  std::vector<int64_t> scanned;
-  tree->ScanRange(*ref.begin(), *ref.rbegin(),
-                  [&](int64_t k) { scanned.push_back(k); });
-  ASSERT_TRUE(
-      std::equal(scanned.begin(), scanned.end(), ref.begin(), ref.end()));
+  ASSERT_NO_FATAL_FAILURE(RunPartitionedCrud(
+      *tree, threads, opt, std::move(oracles),
+      [&] { tree->QuiesceMerges(); }));
 
   // Epoch hygiene: after a quiesced drain the retire list is empty and
   // everything ever retired has been freed — no leak at shutdown.
@@ -315,11 +268,105 @@ void RunStress(bool background_merge) {
   EXPECT_EQ(tree->epoch().PendingCount(), 0u);
   EXPECT_EQ(tree->epoch().retired_count(), tree->epoch().freed_count());
   EXPECT_GT(tree->stats().segment_merges, 0u);
+  EXPECT_GT(tree->stats().deletes, 0u);
 }
 
-TEST(ConcurrentFitingTree, StressInlineMerge) { RunStress(false); }
+TEST(ConcurrentCrudProperty, PartitionedStressInlineMerge) {
+  RunStress(false);
+}
 
-TEST(ConcurrentFitingTree, StressBackgroundMerge) { RunStress(true); }
+TEST(ConcurrentCrudProperty, PartitionedStressBackgroundMerge) {
+  RunStress(true);
+}
+
+// The single-threaded differential stream, same driver as the core and
+// disk suites: exact op-by-op agreement with std::map, merges included.
+TEST(ConcurrentCrudProperty, DifferentialVsMapOracle) {
+  CrudOptions opt;
+  opt.seed = 0xD1FF;
+  opt.ops = PropertyOps(40000);
+  std::map<int64_t, uint64_t> oracle;
+  std::vector<int64_t> keys;
+  std::vector<uint64_t> values;
+  MakeInitialLoad(opt, /*load_every=*/2, &keys, &values, &oracle);
+  ConcurrentFitingTreeConfig config;
+  config.error = 32.0;
+  config.buffer_size = 8;
+  auto tree = ConcurrentFitingTree<int64_t>::Create(keys, values, config);
+  ASSERT_NO_FATAL_FAILURE(RunCrudDifferential(*tree, oracle, opt));
+  EXPECT_GT(tree->stats().segment_merges, 0u);
+}
+
+// The mutex-wrapped baseline answers the same stream identically (it wraps
+// the core tree, so this differentially ties the two engines together).
+TEST(ConcurrentCrudProperty, MutexTreeDifferentialVsMapOracle) {
+  CrudOptions opt;
+  opt.seed = 0xD1FF;
+  opt.ops = PropertyOps(30000);
+  std::map<int64_t, uint64_t> oracle;
+  std::vector<int64_t> keys;
+  std::vector<uint64_t> values;
+  MakeInitialLoad(opt, /*load_every=*/2, &keys, &values, &oracle);
+  fitree::FitingTreeConfig config;
+  config.error = 32.0;
+  config.buffer_size = 8;
+  auto tree = MutexFitingTree<int64_t>::Create(keys, values, config);
+  ASSERT_NO_FATAL_FAILURE(RunCrudDifferential(*tree, oracle, opt));
+}
+
+// ---- ConcurrentFitingTree: directed CRUD edges ----
+
+TEST(ConcurrentFitingTree, DeleteThenReinsertAndBufferOnlyUpdate) {
+  const std::vector<int64_t> keys{10, 20, 30, 40, 50};
+  ConcurrentFitingTreeConfig config;
+  config.error = 4.0;
+  config.buffer_size = 16;  // keep the buffer resident, no merge
+  auto tree = ConcurrentFitingTree<int64_t>::Create(keys, config);
+  EXPECT_TRUE(tree->Delete(30));
+  EXPECT_FALSE(tree->Delete(30));
+  EXPECT_EQ(tree->Lookup(30), std::nullopt);
+  EXPECT_TRUE(tree->Insert(30, 77));  // tombstone flips to live override
+  EXPECT_EQ(tree->Lookup(30), std::optional<uint64_t>(77));
+  EXPECT_EQ(tree->size(), 5u);
+  // Update of a key living only in the delta buffer.
+  ASSERT_TRUE(tree->Insert(25, 1));
+  EXPECT_TRUE(tree->Update(25, 2));
+  EXPECT_EQ(tree->Lookup(25), std::optional<uint64_t>(2));
+  // Update of a paged key writes a live override (page is immutable).
+  EXPECT_TRUE(tree->Update(20, 9));
+  EXPECT_EQ(tree->Lookup(20), std::optional<uint64_t>(9));
+  EXPECT_FALSE(tree->Update(99, 1));
+  std::vector<std::pair<int64_t, uint64_t>> got;
+  tree->ScanRange(0, 100, [&](int64_t k, uint64_t v) {
+    got.emplace_back(k, v);
+  });
+  const std::vector<std::pair<int64_t, uint64_t>> want{
+      {10, 0}, {20, 9}, {25, 2}, {30, 77}, {40, 0}, {50, 0}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(ConcurrentFitingTree, TombstoneHeavyBufferMergesAndCanEmptySegments) {
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < 2000; ++i) keys.push_back(i * 5);
+  ConcurrentFitingTreeConfig config;
+  config.error = 16.0;
+  config.buffer_size = 4;
+  auto tree = ConcurrentFitingTree<int64_t>::Create(keys, config);
+  // Delete everything, first key included: merges must clear tombstones,
+  // retire emptied segments, and eventually empty the whole directory.
+  for (const int64_t k : keys) ASSERT_TRUE(tree->Delete(k));
+  EXPECT_EQ(tree->size(), 0u);
+  for (int64_t i = 0; i < 2000; i += 97) EXPECT_FALSE(tree->Contains(i * 5));
+  std::vector<int64_t> scanned;
+  tree->ScanRange(-10, 20000, [&](int64_t k) { scanned.push_back(k); });
+  EXPECT_TRUE(scanned.empty());
+  EXPECT_GT(tree->stats().segment_merges, 0u);
+  // A fully deleted tree bootstraps again.
+  EXPECT_TRUE(tree->Insert(42, 6));
+  EXPECT_EQ(tree->Lookup(42), std::optional<uint64_t>(6));
+  EXPECT_EQ(tree->size(), 1u);
+  EXPECT_TRUE(tree->epoch().DrainAll());
+}
 
 TEST(ConcurrentFitingTree, ConcurrentInsertsIntoEmptyTree) {
   ConcurrentFitingTreeConfig config;

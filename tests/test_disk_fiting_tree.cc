@@ -1,15 +1,20 @@
 // DiskFitingTree end-to-end tests: a serialized tree answers every query
 // identically to its in-memory StaticFitingTree counterpart, under caches
-// smaller than the file, across error bounds, and in fixed-paging mode.
+// smaller than the file, across error bounds, and in fixed-paging mode —
+// plus the write path: the delta overlay (inserts/updates/tombstones),
+// Compact(), and the shared randomized differential driver.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <optional>
 #include <random>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/io_stats.h"
@@ -17,6 +22,7 @@
 #include "datasets/datasets.h"
 #include "storage/disk_fiting_tree.h"
 #include "storage/segment_file.h"
+#include "tests/oracle.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -27,6 +33,10 @@ using fitree::storage::DiskFitingTree;
 using fitree::storage::LeafCapacity;
 using fitree::storage::MakeFixedSegments;
 using fitree::storage::SegmentFileOptions;
+using fitree::testing::CrudOptions;
+using fitree::testing::MakeInitialLoad;
+using fitree::testing::PropertyOps;
+using fitree::testing::RunCrudDifferential;
 
 constexpr size_t kPageBytes = 256;  // 15 entries/page: tiny data, many pages
 
@@ -217,6 +227,181 @@ TEST(DiskFitingTree, ReopenIsDeterministic) {
   for (size_t i = 0; i < fx.keys.size(); i += 97) {
     EXPECT_EQ(second->Lookup(fx.keys[i]), fx.disk->Lookup(fx.keys[i]));
   }
+}
+
+// ---- Write path: delta overlay + Compact ----
+
+// Serializes `keys`/`values` and opens the result as a writable tree.
+std::unique_ptr<DiskFitingTree<int64_t>> OpenWritable(
+    const std::vector<int64_t>& keys, const std::vector<uint64_t>& values,
+    double error, size_t cache_pages, const std::string& name,
+    std::string* path_out) {
+  const auto base = StaticFitingTree<int64_t>::Create(keys, values, error);
+  *path_out = TempPath(name + ".fit");
+  EXPECT_TRUE(fitree::storage::WriteIndexFile(
+      *path_out, *base, SegmentFileOptions{kPageBytes}));
+  DiskFitingTree<int64_t>::Options options;
+  options.cache_pages = cache_pages;
+  return DiskFitingTree<int64_t>::Open(*path_out, options);
+}
+
+TEST(DiskFitingTree, InsertUpdateDeleteThroughOverlay) {
+  const std::vector<int64_t> keys{10, 20, 30, 40, 50};
+  const std::vector<uint64_t> values{100, 200, 300, 400, 500};
+  std::string path;
+  auto disk = OpenWritable(keys, values, 4.0, 8, "overlay", &path);
+  ASSERT_NE(disk, nullptr);
+  EXPECT_EQ(disk->Lookup(30), std::optional<uint64_t>(300));
+
+  // Insert: new key, duplicate of paged key, duplicate of overlay key.
+  EXPECT_TRUE(disk->Insert(25, 7));
+  EXPECT_FALSE(disk->Insert(25, 8));
+  EXPECT_FALSE(disk->Insert(30, 8));
+  EXPECT_EQ(disk->Lookup(25), std::optional<uint64_t>(7));
+  EXPECT_EQ(disk->size(), 6u);
+  EXPECT_EQ(disk->base_size(), 5u);
+
+  // Update: paged key (override), overlay-only key, absent key.
+  EXPECT_TRUE(disk->Update(30, 999));
+  EXPECT_EQ(disk->Lookup(30), std::optional<uint64_t>(999));
+  EXPECT_TRUE(disk->Update(25, 9));
+  EXPECT_EQ(disk->Lookup(25), std::optional<uint64_t>(9));
+  EXPECT_FALSE(disk->Update(26, 1));
+
+  // Delete: overlay-only key drops, paged key tombstones, repeat fails.
+  EXPECT_TRUE(disk->Delete(25));
+  EXPECT_FALSE(disk->Delete(25));
+  EXPECT_TRUE(disk->Delete(10));  // the leftmost segment's first_key
+  EXPECT_FALSE(disk->Contains(10));
+  EXPECT_EQ(disk->size(), 4u);
+
+  // Scans merge the overlay: 20 (paged), 30 (override), 40, 50 (paged).
+  std::vector<std::pair<int64_t, uint64_t>> got;
+  disk->ScanRange(0, 100, [&](int64_t k, uint64_t v) {
+    got.emplace_back(k, v);
+  });
+  const std::vector<std::pair<int64_t, uint64_t>> want{
+      {20, 200}, {30, 999}, {40, 400}, {50, 500}};
+  EXPECT_EQ(got, want);
+  EXPECT_FALSE(disk->io_error());
+  std::remove(path.c_str());
+}
+
+TEST(DiskFitingTree, DeleteThenReinsertPagedKey) {
+  const std::vector<int64_t> keys{10, 20, 30};
+  std::string path;
+  auto disk = OpenWritable(keys, {}, 4.0, 8, "reinsert", &path);
+  ASSERT_NE(disk, nullptr);
+  EXPECT_TRUE(disk->Delete(20));
+  EXPECT_EQ(disk->Lookup(20), std::nullopt);
+  EXPECT_TRUE(disk->Insert(20, 77));  // tombstone resurrects as override
+  EXPECT_EQ(disk->Lookup(20), std::optional<uint64_t>(77));
+  EXPECT_EQ(disk->size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(DiskFitingTree, CompactFoldsOverlayAndPersists) {
+  const auto keys = TestKeys(2000);
+  std::string path;
+  auto disk = OpenWritable(keys, {}, 16.0, 8, "compact", &path);
+  ASSERT_NE(disk, nullptr);
+  std::map<int64_t, uint64_t> oracle;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    oracle[keys[i]] = static_cast<uint64_t>(i);  // serializer's rank default
+  }
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t absent = fitree::workloads::detail::AbsentKey(keys, rng);
+    if (oracle.emplace(absent, 1u).second) {
+      ASSERT_TRUE(disk->Insert(absent, 1));
+    }
+    const int64_t victim = keys[rng() % keys.size()];
+    ASSERT_EQ(disk->Delete(victim), oracle.erase(victim) > 0);
+  }
+  const size_t live = oracle.size();
+  EXPECT_GT(disk->DeltaEntries(), 0u);
+
+  ASSERT_TRUE(disk->Compact());
+  EXPECT_EQ(disk->DeltaEntries(), 0u);     // overlay folded into the file
+  EXPECT_EQ(disk->size(), live);
+  EXPECT_EQ(disk->base_size(), live);      // deltas became paged keys
+  EXPECT_EQ(disk->Compactions(), 1u);
+  for (const auto& [k, v] : oracle) {
+    ASSERT_EQ(disk->Lookup(k), std::optional<uint64_t>(v)) << k;
+  }
+
+  // The compacted file is a valid index on its own: a fresh reader serves
+  // the same contents with an empty overlay.
+  auto reopened = DiskFitingTree<int64_t>::Open(path);
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->size(), live);
+  std::vector<std::pair<int64_t, uint64_t>> got;
+  reopened->ScanRange(oracle.begin()->first, oracle.rbegin()->first,
+                      [&](int64_t k, uint64_t v) { got.emplace_back(k, v); });
+  const std::vector<std::pair<int64_t, uint64_t>> want(oracle.begin(),
+                                                       oracle.end());
+  EXPECT_EQ(got, want);
+  std::remove(path.c_str());
+}
+
+TEST(DiskFitingTree, EmptyFileBootstrapsThroughOverlay) {
+  std::string path;
+  auto disk = OpenWritable({}, {}, 8.0, 4, "empty_boot", &path);
+  ASSERT_NE(disk, nullptr);
+  EXPECT_EQ(disk->size(), 0u);
+  EXPECT_EQ(disk->Lookup(5), std::nullopt);
+  EXPECT_EQ(disk->RangeCount(-100, 100), 0u);
+  EXPECT_TRUE(disk->Insert(5, 50));
+  EXPECT_TRUE(disk->Insert(1, 10));
+  EXPECT_TRUE(disk->Insert(9, 90));
+  EXPECT_TRUE(disk->Delete(5));
+  EXPECT_EQ(disk->size(), 2u);
+  ASSERT_TRUE(disk->Compact());
+  EXPECT_EQ(disk->base_size(), 2u);
+  EXPECT_EQ(disk->Lookup(1), std::optional<uint64_t>(10));
+  EXPECT_EQ(disk->Lookup(9), std::optional<uint64_t>(90));
+  EXPECT_EQ(disk->Lookup(5), std::nullopt);
+  std::remove(path.c_str());
+}
+
+TEST(DiskFitingTree, DeleteEverythingCompactsToEmptyFile) {
+  const std::vector<int64_t> keys{10, 20, 30, 40};
+  std::string path;
+  auto disk = OpenWritable(keys, {}, 4.0, 4, "empty_compact", &path);
+  ASSERT_NE(disk, nullptr);
+  for (const int64_t k : keys) ASSERT_TRUE(disk->Delete(k));
+  EXPECT_EQ(disk->size(), 0u);
+  ASSERT_TRUE(disk->Compact());
+  EXPECT_EQ(disk->base_size(), 0u);
+  EXPECT_EQ(disk->size(), 0u);
+  for (const int64_t k : keys) EXPECT_FALSE(disk->Contains(k));
+  // And it bootstraps back up.
+  EXPECT_TRUE(disk->Insert(15, 1));
+  EXPECT_EQ(disk->Lookup(15), std::optional<uint64_t>(1));
+  std::remove(path.c_str());
+}
+
+// The shared randomized differential driver, with Compact() folding the
+// overlay at every checkpoint — the disk engine's whole CRUD surface
+// (overlay reads, overrides, tombstones, compaction, post-compaction
+// reads) against the same std::map oracle as the other two engines.
+TEST(DiskCrudProperty, DifferentialVsMapOracleWithCompaction) {
+  CrudOptions opt;
+  opt.seed = 0xD15C;
+  opt.ops = PropertyOps(30000);
+  opt.key_space = 8000;
+  std::map<int64_t, uint64_t> oracle;
+  std::vector<int64_t> keys;
+  std::vector<uint64_t> values;
+  MakeInitialLoad(opt, /*load_every=*/2, &keys, &values, &oracle);
+  std::string path;
+  auto disk = OpenWritable(keys, values, 16.0, 16, "differential", &path);
+  ASSERT_NE(disk, nullptr);
+  opt.checkpoint = [&] { ASSERT_TRUE(disk->Compact()); };
+  ASSERT_NO_FATAL_FAILURE(RunCrudDifferential(*disk, oracle, opt));
+  EXPECT_GT(disk->Compactions(), 0u);
+  EXPECT_FALSE(disk->io_error());
+  std::remove(path.c_str());
 }
 
 TEST(DiskFitingTree, ZipfianProbesRaiseHitRateOverUniform) {

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <random>
 #include <set>
 #include <vector>
 
 #include "core/fiting_tree.h"
 #include "datasets/datasets.h"
+#include "tests/oracle.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -16,6 +19,10 @@ using fitree::Feasibility;
 using fitree::FitingTree;
 using fitree::FitingTreeConfig;
 using fitree::SearchPolicy;
+using fitree::testing::CrudOptions;
+using fitree::testing::MakeInitialLoad;
+using fitree::testing::PropertyOps;
+using fitree::testing::RunCrudDifferential;
 
 TEST(FitingTree, LookupMatchesOracleReadOnly) {
   const auto keys = fitree::datasets::Weblogs(30000, 1);
@@ -208,6 +215,160 @@ TEST(FitingTree, ProbesFarOutsideKeyRange) {
   EXPECT_FALSE(tree->Contains(keys.back() + 1'000'000));
   tree->Insert(keys.front() - 1'000'000);
   EXPECT_TRUE(tree->Contains(keys.front() - 1'000'000));
+}
+
+// ---- CRUD: payloads, updates, deletes ----
+
+TEST(FitingTree, InsertReturnsWhetherKeyWasNew) {
+  const auto keys = fitree::datasets::Maps(5000, 9);
+  FitingTreeConfig config;
+  config.error = 64.0;
+  auto tree = FitingTree<int64_t>::Create(keys, config);
+  EXPECT_FALSE(tree->Insert(keys[123], 7));   // already paged
+  const int64_t fresh = keys[0] - 10;
+  EXPECT_TRUE(tree->Insert(fresh, 1));
+  EXPECT_FALSE(tree->Insert(fresh, 2));       // already buffered
+  EXPECT_EQ(tree->Lookup(fresh), std::optional<uint64_t>(1));  // first wins
+}
+
+TEST(FitingTree, LookupAndUpdatePayloads) {
+  const std::vector<int64_t> keys{10, 20, 30, 40, 50};
+  const std::vector<uint64_t> values{100, 200, 300, 400, 500};
+  FitingTreeConfig config;
+  config.error = 4.0;
+  auto tree = FitingTree<int64_t>::Create(keys, values, config);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(tree->Lookup(keys[i]), std::optional<uint64_t>(values[i]));
+  }
+  EXPECT_EQ(tree->Lookup(25), std::nullopt);
+  EXPECT_TRUE(tree->Update(30, 999));   // paged key: in-place
+  EXPECT_EQ(tree->Lookup(30), std::optional<uint64_t>(999));
+  EXPECT_FALSE(tree->Update(25, 1));    // absent
+  ASSERT_TRUE(tree->Insert(25, 7));
+  EXPECT_TRUE(tree->Update(25, 8));     // key living only in the buffer
+  EXPECT_EQ(tree->Lookup(25), std::optional<uint64_t>(8));
+  EXPECT_EQ(tree->stats().updates, 2u);
+}
+
+TEST(FitingTree, DeleteThenReinsert) {
+  const std::vector<int64_t> keys{10, 20, 30, 40, 50};
+  FitingTreeConfig config;
+  config.error = 4.0;
+  config.buffer_size = 16;  // keep tombstones resident, no merge
+  auto tree = FitingTree<int64_t>::Create(keys, config);
+  EXPECT_TRUE(tree->Delete(30));
+  EXPECT_FALSE(tree->Delete(30));  // already tombstoned
+  EXPECT_FALSE(tree->Contains(30));
+  EXPECT_EQ(tree->size(), 4u);
+  std::vector<int64_t> scanned;
+  tree->ScanRange(0, 100, [&](int64_t k) { scanned.push_back(k); });
+  EXPECT_EQ(scanned, (std::vector<int64_t>{10, 20, 40, 50}));
+  // Reinsert flips the tombstone and carries the new payload.
+  EXPECT_TRUE(tree->Insert(30, 77));
+  EXPECT_EQ(tree->Lookup(30), std::optional<uint64_t>(77));
+  EXPECT_EQ(tree->size(), 5u);
+  // Buffered (never paged) keys are dropped outright on delete.
+  ASSERT_TRUE(tree->Insert(35, 1));
+  EXPECT_TRUE(tree->Delete(35));
+  EXPECT_FALSE(tree->Contains(35));
+  EXPECT_EQ(tree->size(), 5u);
+}
+
+TEST(FitingTree, TombstoneHeavyBufferTriggersMergeAndDropsKeys) {
+  const auto keys = fitree::datasets::Iot(4000, 3);
+  FitingTreeConfig config;
+  config.error = 64.0;
+  config.buffer_size = 4;  // tiny: a burst of deletes overflows the buffer
+  auto tree = FitingTree<int64_t>::Create(keys, config);
+  std::set<int64_t> oracle(keys.begin(), keys.end());
+  std::mt19937_64 rng(17);
+  const uint64_t merges_before = tree->stats().segment_merges;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t victim = keys[rng() % keys.size()];
+    ASSERT_EQ(tree->Delete(victim), oracle.erase(victim) > 0);
+  }
+  EXPECT_GT(tree->stats().segment_merges, merges_before);
+  EXPECT_GT(tree->stats().tombstones_cleared, 0u);
+  EXPECT_EQ(tree->size(), oracle.size());
+  std::vector<int64_t> scanned;
+  tree->ScanRange(keys.front(), keys.back(),
+                  [&](int64_t k) { scanned.push_back(k); });
+  EXPECT_TRUE(std::equal(scanned.begin(), scanned.end(), oracle.begin(),
+                         oracle.end()));
+}
+
+TEST(FitingTree, DeleteSegmentFirstKeySurvivesMerge) {
+  const auto keys = fitree::datasets::Weblogs(6000, 13);
+  FitingTreeConfig config;
+  config.error = 32.0;
+  config.buffer_size = 2;
+  auto tree = FitingTree<int64_t>::Create(keys, config);
+  std::set<int64_t> oracle(keys.begin(), keys.end());
+  // The global first key is also the first segment's first_key: deleting it
+  // exercises the directory-erase + resegment path at the left edge.
+  ASSERT_TRUE(tree->Delete(keys.front()));
+  oracle.erase(keys.front());
+  // Force merges around the tombstone by churning nearby inserts.
+  for (int64_t d = 1; d <= 8; ++d) {
+    const int64_t k = keys.front() + d;
+    if (oracle.insert(k).second) {
+      ASSERT_TRUE(tree->Insert(k, static_cast<uint64_t>(d)));
+    }
+  }
+  EXPECT_FALSE(tree->Contains(keys.front()));
+  EXPECT_EQ(tree->size(), oracle.size());
+  for (const int64_t k : oracle) ASSERT_TRUE(tree->Contains(k)) << k;
+}
+
+TEST(FitingTree, DeleteEverythingThenBootstrapFromEmpty) {
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < 300; ++i) keys.push_back(i * 7);
+  FitingTreeConfig config;
+  config.error = 16.0;
+  config.buffer_size = 3;
+  auto tree = FitingTree<int64_t>::Create(keys, config);
+  for (const int64_t k : keys) ASSERT_TRUE(tree->Delete(k));
+  EXPECT_EQ(tree->size(), 0u);
+  for (const int64_t k : keys) EXPECT_FALSE(tree->Contains(k));
+  std::vector<int64_t> scanned;
+  tree->ScanRange(-100, 10000, [&](int64_t k) { scanned.push_back(k); });
+  EXPECT_TRUE(scanned.empty());
+  // A fully deleted tree bootstraps again like a fresh empty one.
+  EXPECT_TRUE(tree->Insert(42, 6));
+  EXPECT_EQ(tree->Lookup(42), std::optional<uint64_t>(6));
+  EXPECT_EQ(tree->size(), 1u);
+}
+
+// The shared randomized differential driver (tests/oracle.h), seeded from
+// a bulk load. FITREE_PROPERTY_OPS cranks the op count in CI's sanitizer
+// jobs (ctest -L property).
+TEST(FitingTreeCrudProperty, DifferentialVsMapOracle) {
+  CrudOptions opt;
+  opt.seed = 0xC0FFEE;
+  opt.ops = PropertyOps(60000);
+  std::map<int64_t, uint64_t> oracle;
+  std::vector<int64_t> keys;
+  std::vector<uint64_t> values;
+  MakeInitialLoad(opt, /*load_every=*/2, &keys, &values, &oracle);
+  FitingTreeConfig config;
+  config.error = 32.0;
+  config.buffer_size = 8;  // merge-heavy
+  auto tree = FitingTree<int64_t>::Create(keys, values, config);
+  ASSERT_NO_FATAL_FAILURE(RunCrudDifferential(*tree, oracle, opt));
+  EXPECT_GT(tree->stats().segment_merges, 0u);
+}
+
+TEST(FitingTreeCrudProperty, DifferentialFromEmptyTree) {
+  CrudOptions opt;
+  opt.seed = 0xBEEF;
+  opt.ops = PropertyOps(30000);
+  opt.key_space = 5000;
+  std::map<int64_t, uint64_t> oracle;
+  FitingTreeConfig config;
+  config.error = 16.0;
+  config.buffer_size = 4;
+  auto tree = FitingTree<int64_t>::Create({}, config);
+  ASSERT_NO_FATAL_FAILURE(RunCrudDifferential(*tree, oracle, opt));
 }
 
 TEST(FitingTree, EmptyAndSingleton) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <random>
+#include <utility>
 #include <vector>
 
 #include "core/static_fiting_tree.h"
@@ -94,6 +96,37 @@ TEST(StaticFitingTree, BoundaryProbes) {
   EXPECT_EQ(tree->LowerBound(keys.back() + 1), keys.size());
   EXPECT_FALSE(tree->Contains(keys.front() - 100));
   EXPECT_FALSE(tree->Contains(keys.back() + 100));
+}
+
+TEST(StaticFitingTree, PayloadsDefaultToRankAndUpdateInPlace) {
+  const auto keys = fitree::datasets::Iot(3000, 7);
+  auto tree = StaticFitingTree<int64_t>::Create(keys, 16.0);
+  // Implicit rank payloads.
+  EXPECT_TRUE(tree->values().empty());
+  EXPECT_EQ(tree->Lookup(keys[57]), std::optional<uint64_t>(57));
+  EXPECT_EQ(tree->Lookup(keys.front() - 1), std::nullopt);
+  // UpdatePayload materializes ranks, then overrides one.
+  EXPECT_TRUE(tree->UpdatePayload(keys[57], 9999));
+  EXPECT_EQ(tree->Lookup(keys[57]), std::optional<uint64_t>(9999));
+  EXPECT_EQ(tree->Lookup(keys[58]), std::optional<uint64_t>(58));
+  EXPECT_FALSE(tree->UpdatePayload(keys.front() - 1, 1));
+  EXPECT_EQ(tree->values().size(), keys.size());
+}
+
+TEST(StaticFitingTree, ExplicitPayloadsServeLookupsAndScans) {
+  const std::vector<int64_t> keys{5, 10, 15, 20};
+  const std::vector<uint64_t> values{50, 100, 150, 200};
+  auto tree = StaticFitingTree<int64_t>::Create(keys, values, 4.0);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(tree->Lookup(keys[i]), std::optional<uint64_t>(values[i]));
+  }
+  std::vector<std::pair<int64_t, uint64_t>> got;
+  tree->ScanRange(0, 100, [&](int64_t k, uint64_t v) {
+    got.emplace_back(k, v);
+  });
+  const std::vector<std::pair<int64_t, uint64_t>> want{
+      {5, 50}, {10, 100}, {15, 150}, {20, 200}};
+  EXPECT_EQ(got, want);
 }
 
 }  // namespace

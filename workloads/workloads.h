@@ -186,37 +186,46 @@ std::vector<RangeQuery<K>> MakeRangeQueries(const std::vector<K>& keys,
   return queries;
 }
 
-// ---- YCSB-style mixed operation streams (bench_concurrent) ----
+// ---- YCSB-style mixed operation streams (bench_concurrent, bench_crud) ----
 
 enum class OpType : uint8_t {
   kRead,    // point lookup
   kInsert,  // insert of a key absent from the base data
   kScan,    // closed range [key, hi]
+  kUpdate,  // payload update of a (probably) present key
+  kDelete,  // delete of a (probably) present key
 };
 
 template <typename K>
 struct Op {
   OpType type = OpType::kRead;
   K key{};
-  K hi{};  // scan upper bound; unused for reads/inserts
+  K hi{};              // scan upper bound; unused otherwise
+  uint64_t value = 0;  // payload for inserts/updates
 };
 
 // Operation mix as fractions summing to at most 1; the remainder (if any)
 // falls to reads. The standard YCSB core mixes map as:
-//   A = {.read=0.5, .insert=0.5}   B = {.read=0.95, .insert=0.05}
+//   A = {.read=0.5, .update=0.5}   B = {.read=0.95, .update=0.05}
 //   C = {.read=1.0}                E = {.scan=0.95, .insert=0.05}
-// (this repo's indexes are sets, so YCSB "update" is modeled as insert).
+// plus delete-bearing mixes for the CRUD experiments. Update/delete keys
+// are drawn from the base data per `access` (they may have been deleted by
+// an earlier op — engines report that via their bool returns); insert keys
+// fall in gaps, so a key inserted then deleted can be reinserted later.
 struct OpMix {
   double read = 1.0;
   double insert = 0.0;
+  double update = 0.0;
+  double del = 0.0;
   double scan = 0.0;
 };
 
 // One thread's operation stream: `count` ops over sorted `keys` drawn from
-// `mix`. Read/scan start keys follow `access` (uniform or Zipfian); inserts
-// fall in gaps of the base data; scans cover ~`scan_selectivity` * n keys.
-// Pass seed = ThreadSeed(base, thread_id) for reproducible per-thread
-// streams.
+// `mix`. Read/update/delete/scan keys follow `access` (uniform or
+// Zipfian); inserts fall in gaps of the base data; scans cover
+// ~`scan_selectivity` * n keys. Insert/update payloads are drawn from the
+// stream's rng, so an update observably changes the stored value. Pass
+// seed = ThreadSeed(base, thread_id) for reproducible per-thread streams.
 template <typename K>
 std::vector<Op<K>> MakeOpStream(const std::vector<K>& keys, size_t count,
                                 const OpMix& mix, Access access,
@@ -231,6 +240,9 @@ std::vector<Op<K>> MakeOpStream(const std::vector<K>& keys, size_t count,
   const size_t span = std::max<size_t>(
       1, static_cast<size_t>(scan_selectivity *
                              static_cast<double>(keys.size())));
+  const auto pick_index = [&] {
+    return zipf.has_value() ? zipf->Next(rng) : rng() % keys.size();
+  };
   for (size_t i = 0; i < count; ++i) {
     const double draw = unif(rng);
     Op<K> op;
@@ -240,22 +252,27 @@ std::vector<Op<K>> MakeOpStream(const std::vector<K>& keys, size_t count,
       if (keys.size() > 1) {
         op.type = OpType::kInsert;
         op.key = detail::AbsentKey(keys, rng);
+        op.value = rng();
       } else {
         op.type = OpType::kRead;
         op.key = keys.front();
       }
-    } else if (draw < mix.insert + mix.scan) {
+    } else if (draw < mix.insert + mix.update) {
+      op.type = OpType::kUpdate;
+      op.key = keys[pick_index()];
+      op.value = rng();
+    } else if (draw < mix.insert + mix.update + mix.del) {
+      op.type = OpType::kDelete;
+      op.key = keys[pick_index()];
+    } else if (draw < mix.insert + mix.update + mix.del + mix.scan) {
       op.type = OpType::kScan;
-      const size_t start =
-          (zipf.has_value() ? zipf->Next(rng) : rng() % keys.size());
+      const size_t start = pick_index();
       const size_t end = std::min(keys.size() - 1, start + span - 1);
       op.key = keys[start];
       op.hi = keys[end];
     } else {
       op.type = OpType::kRead;
-      const size_t index =
-          zipf.has_value() ? zipf->Next(rng) : rng() % keys.size();
-      op.key = keys[index];
+      op.key = keys[pick_index()];
     }
     ops.push_back(op);
   }
