@@ -75,7 +75,8 @@ void RunSearchPolicy(Runner& runner) {
     const char* name;
   } policies[] = {{SearchPolicy::kBinary, "binary"},
                   {SearchPolicy::kLinear, "linear"},
-                  {SearchPolicy::kExponential, "exponential"}};
+                  {SearchPolicy::kExponential, "exponential"},
+                  {SearchPolicy::kSimd, "simd"}};
   for (double error : {64.0, 1024.0, 16384.0}) {
     for (const auto& p : policies) {
       FitingTreeConfig config;

@@ -3,6 +3,8 @@
 // same BENCH_results.json): point lookups for every index structure,
 // inserts, segmentation throughput and B+ tree primitives.
 
+#include <algorithm>
+#include <random>
 #include <span>
 #include <string>
 #include <utility>
@@ -15,7 +17,9 @@
 #include "bench/harness/runner.h"
 #include "btree/btree_map.h"
 #include "core/fiting_tree.h"
+#include "core/flat_directory.h"
 #include "core/optimal_segmentation.h"
+#include "core/search_policy.h"
 #include "core/shrinking_cone.h"
 #include "datasets/datasets.h"
 
@@ -173,9 +177,110 @@ void RunMicroBtree(Runner& runner) {
   }
 }
 
+// Ablation of the hot-path microarchitecture pass: (a) the in-window
+// lower-bound policies (binary / linear / exponential / simd) across error
+// window sizes, probed with model-style hints (right answer +/- jitter);
+// (b) segment-directory descent, btree vs flat interpolation+SIMD, over
+// the same key set's shrinking-cone segments. These are the two per-lookup
+// costs the FITREE_SEARCH_POLICY / FITREE_DIRECTORY knobs select between.
+void RunMicroSearchPolicy(Runner& runner) {
+  const MicroData data = LoadData();
+  const auto& keys = *data.keys;
+  const size_t n = keys.size();
+  const size_t ops = ScaledN(1 << 18);
+  constexpr size_t kMask = (1 << 12) - 1;
+
+  struct Probe {
+    size_t begin = 0;
+    size_t end = 0;
+    size_t hint = 0;
+    int64_t key = 0;
+  };
+
+  for (const size_t window :
+       {size_t{16}, size_t{64}, size_t{128}, size_t{512}, size_t{4096}}) {
+    const size_t w = std::min(window, n);
+    // Pre-generate windows that contain their answer, with the hint
+    // wandering +/- w/4 around it — the regime the segment models produce.
+    std::vector<Probe> probes(kMask + 1);
+    std::mt19937_64 rng(0x5EA4C4 + window);
+    std::uniform_int_distribution<size_t> pick(0, n - 1);
+    std::uniform_int_distribution<size_t> off(0, w - 1);
+    std::uniform_int_distribution<long> jitter(-static_cast<long>(w / 4),
+                                               static_cast<long>(w / 4));
+    for (Probe& p : probes) {
+      const size_t t = pick(rng);
+      size_t begin = t - std::min(t, off(rng));
+      if (begin + w > n) begin = n - w;
+      const long h = static_cast<long>(t) + jitter(rng);
+      p.begin = begin;
+      p.end = begin + w;
+      p.hint = std::clamp(static_cast<size_t>(std::max(h, 0L)), begin,
+                          begin + w - 1);
+      p.key = keys[t];
+    }
+    for (const SearchPolicy policy :
+         {SearchPolicy::kBinary, SearchPolicy::kLinear,
+          SearchPolicy::kExponential, SearchPolicy::kSimd}) {
+      const Stats stats = runner.CollectReps([&] {
+        return TimedLoopNsPerOp(ops, [&](size_t i) {
+          const Probe& p = probes[i & kMask];
+          return static_cast<uint64_t>(detail::BoundedLowerBound(
+              keys.data(), p.begin, p.end, p.hint, p.key, policy));
+        });
+      });
+      runner.Report({{"policy", SearchPolicyName(policy)},
+                     {"window", std::to_string(window)}},
+                    stats);
+    }
+  }
+
+  // Directory descent over the segment first keys (error=64 keeps the
+  // directory big enough that descent cost is visible).
+  const auto segments = SegmentShrinkingCone<int64_t>(keys, 64.0);
+  std::vector<int64_t> first_keys;
+  std::vector<std::pair<int64_t, uint32_t>> entries;
+  first_keys.reserve(segments.size());
+  entries.reserve(segments.size());
+  for (size_t i = 0; i < segments.size(); ++i) {
+    first_keys.push_back(segments[i].first_key);
+    entries.emplace_back(segments[i].first_key, static_cast<uint32_t>(i));
+  }
+  btree::BTreeMap<int64_t, uint32_t, 16, 16> btree_dir;
+  btree_dir.BulkLoad(std::move(entries));
+  const FlatKeyIndex<int64_t> flat_dir(first_keys);
+  const auto& descent_probes = *data.probes;
+  const double seg_count = static_cast<double>(segments.size());
+  {
+    const Stats stats = runner.CollectReps([&] {
+      return TimedLoopNsPerOp(ops, [&](size_t i) {
+        const uint32_t* id = btree_dir.FindFloor(descent_probes[i & kProbeMask]);
+        return id == nullptr ? uint64_t{0} : static_cast<uint64_t>(*id);
+      });
+    });
+    runner.Report({{"policy", "directory-btree"}, {"window", "-"}}, stats,
+                  {{"segments", seg_count}});
+  }
+  {
+    const Stats stats = runner.CollectReps([&] {
+      return TimedLoopNsPerOp(ops, [&](size_t i) {
+        return static_cast<uint64_t>(
+            flat_dir.FloorIndex(descent_probes[i & kProbeMask]));
+      });
+    });
+    runner.Report({{"policy", "directory-flat"}, {"window", "-"}}, stats,
+                  {{"segments", seg_count}});
+  }
+}
+
 FITREE_REGISTER_EXPERIMENT(
     "micro_lookup", "Micro: point lookups across index structures",
     RunMicroLookup);
+FITREE_REGISTER_EXPERIMENT(
+    "micro_search_policy",
+    "Micro: in-window search policy x window-size sweep, plus "
+    "btree-vs-flat directory descent",
+    RunMicroSearchPolicy);
 FITREE_REGISTER_EXPERIMENT(
     "micro_insert", "Micro: FITing-Tree insert throughput", RunMicroInsert);
 FITREE_REGISTER_EXPERIMENT(

@@ -25,6 +25,14 @@ inline int GetEnvInt(const char* name, int def) {
   return static_cast<int>(GetEnvInt64(name, static_cast<int64_t>(def)));
 }
 
+// Returns the value of `name`, or `def` when unset or empty (used by the
+// FITREE_SEARCH_POLICY / FITREE_DIRECTORY hot-path knobs).
+inline std::string GetEnvString(const char* name, const char* def) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return def;
+  return value;
+}
+
 }  // namespace fitree
 
 #endif  // FITREE_COMMON_ENV_H_

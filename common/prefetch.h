@@ -1,0 +1,36 @@
+// Software prefetch helpers for the lookup hot path: once the directory
+// has resolved a segment, the model's predicted rank names the cache line
+// the bounded search will touch first, so the engines ask for it while the
+// intervening work (buffer/delta probes) is still executing. Prefetches
+// are hints — issuing one for a stale or evicted address is always safe.
+
+#ifndef FITREE_COMMON_PREFETCH_H_
+#define FITREE_COMMON_PREFETCH_H_
+
+#include <cstddef>
+
+namespace fitree {
+
+inline constexpr size_t kCacheLineBytes = 64;
+
+// Read-prefetch the cache line containing `p` into all cache levels.
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+// Read-prefetch every cache line in [p, p + bytes).
+inline void PrefetchReadRange(const void* p, size_t bytes) {
+  const auto* c = static_cast<const char*>(p);
+  for (size_t off = 0; off < bytes; off += kCacheLineBytes) {
+    PrefetchRead(c + off);
+  }
+  if (bytes > 0) PrefetchRead(c + bytes - 1);
+}
+
+}  // namespace fitree
+
+#endif  // FITREE_COMMON_PREFETCH_H_

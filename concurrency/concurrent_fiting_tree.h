@@ -53,10 +53,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/prefetch.h"
 #include "concurrency/epoch.h"
 #include "concurrency/merge_worker.h"
 #include "concurrency/seg_latch.h"
 #include "core/fiting_tree.h"
+#include "core/flat_directory.h"
 #include "core/search_policy.h"
 #include "core/shrinking_cone.h"
 
@@ -71,7 +73,11 @@ struct ConcurrentFitingTreeConfig {
   // tombstones). With a background worker the budget is soft: buffers keep
   // absorbing writes while their merge is queued.
   size_t buffer_size = kAutoBufferSize;
-  SearchPolicy search_policy = SearchPolicy::kBinary;
+  // In-window search strategy; defaults to the FITREE_SEARCH_POLICY knob
+  // (simd unless overridden). The directory here is always the flat COW
+  // snapshot — it is what makes readers lock-free — so there is no
+  // btree/flat choice to make.
+  SearchPolicy search_policy = DefaultSearchPolicy();
   Feasibility feasibility = Feasibility::kEndpointLine;
   // Off: the mutating thread merges inline. On: overflows are queued to a
   // MergeWorker thread and writes return immediately.
@@ -147,6 +153,9 @@ class ConcurrentFitingTree {
     const Directory* dir = dir_.load(std::memory_order_seq_cst);
     const Segment* seg = dir->Floor(key);
     if (seg == nullptr) return std::nullopt;
+    // Start the predicted page lines travelling while the buffer probe
+    // (sequence check or short critical section) runs.
+    PrefetchPredicted(*seg, key);
     BufferEntry entry;
     if (SearchBuffer(*seg, key, &entry)) {
       if (entry.tombstone) return std::nullopt;
@@ -381,19 +390,19 @@ class ConcurrentFitingTree {
       sizeof(K) + 2 * sizeof(double) + sizeof(void*);
 
   // Immutable snapshot of the segment directory. Merges publish a fresh
-  // copy; the arrays are never mutated after publication.
+  // copy; the arrays (and the flat index over the first keys) are never
+  // mutated after publication, which is why the interpolation + SIMD
+  // descent is safe for lock-free readers: each COW republish builds a new
+  // calibrated index and swaps it in atomically with the snapshot.
   struct Directory {
-    std::vector<K> first_keys;       // sorted
+    FlatKeyIndex<K> first_keys;      // sorted, interpolation + SIMD floor
     std::vector<Segment*> segments;  // parallel to first_keys
 
     // Index of the floor segment for `key` (clamped to 0 below the first
     // key, matching the single-threaded tree's floor-else-first rule).
     size_t FloorIndex(const K& key) const {
-      auto it =
-          std::upper_bound(first_keys.begin(), first_keys.end(), key);
-      return it == first_keys.begin()
-                 ? 0
-                 : static_cast<size_t>(it - first_keys.begin()) - 1;
+      const size_t i = first_keys.FloorIndex(key);
+      return i == FlatKeyIndex<K>::kNone ? 0 : i;
     }
 
     Segment* Floor(const K& key) const {
@@ -406,7 +415,8 @@ class ConcurrentFitingTree {
     if (!keys.empty()) {
       const auto models =
           SegmentShrinkingCone<K>(keys, config_.error, config_.feasibility);
-      dir->first_keys.reserve(models.size());
+      std::vector<K> first_keys;
+      first_keys.reserve(models.size());
       dir->segments.reserve(models.size());
       for (const fitree::Segment<K>& m : models) {
         auto* seg = new Segment();
@@ -421,9 +431,10 @@ class ConcurrentFitingTree {
           seg->values.assign(values.begin() + m.start,
                              values.begin() + m.start + m.length);
         }
-        dir->first_keys.push_back(m.first_key);
+        first_keys.push_back(m.first_key);
         dir->segments.push_back(seg);
       }
+      dir->first_keys.Reset(std::move(first_keys));
     }
     size_.store(keys.size(), std::memory_order_release);
     dir_.store(dir.release(), std::memory_order_seq_cst);
@@ -444,6 +455,19 @@ class ConcurrentFitingTree {
     const size_t i = detail::BoundedLowerBound(
         seg.keys.data(), begin, end, hint, key, config_.search_policy);
     return i < n && seg.keys[i] == key ? i : kNotFound;
+  }
+
+  // Prefetch the predicted in-page position so the lines arrive while the
+  // buffer probe between descent and page search executes. Pages are
+  // immutable while a segment is live, so this reads nothing racy.
+  void PrefetchPredicted(const Segment& seg, const K& key) const {
+    const size_t n = seg.keys.size();
+    if (n == 0) return;
+    const double pred = seg.Predict(key);
+    const size_t hint =
+        pred <= 0.0 ? 0 : std::min(n - 1, static_cast<size_t>(pred));
+    PrefetchRead(seg.keys.data() + hint);
+    PrefetchRead(seg.values.data() + hint);
   }
 
   // Latch-eliding buffer probe: a sequence-validated empty check answers
@@ -541,7 +565,7 @@ class ConcurrentFitingTree {
     seg->keys.push_back(key);
     seg->values.push_back(value);
     auto next = std::make_unique<Directory>();
-    next->first_keys.push_back(key);
+    next->first_keys.Reset({key});
     next->segments.push_back(seg);
     dir_.store(next.release(), std::memory_order_seq_cst);
     epoch_.Retire(const_cast<Directory*>(dir));
@@ -634,20 +658,24 @@ class ConcurrentFitingTree {
       size_t idx = dir->FloorIndex(seg->first_key);
       assert(idx < dir->segments.size() && dir->segments[idx] == seg);
       auto next = std::make_unique<Directory>();
-      next->first_keys.reserve(dir->first_keys.size() + replacements.size());
-      next->segments.reserve(next->first_keys.capacity());
+      std::vector<K> first_keys;
+      first_keys.reserve(dir->segments.size() + replacements.size());
+      next->segments.reserve(first_keys.capacity());
       for (size_t i = 0; i < idx; ++i) {
-        next->first_keys.push_back(dir->first_keys[i]);
+        first_keys.push_back(dir->first_keys.key_at(i));
         next->segments.push_back(dir->segments[i]);
       }
       for (Segment* r : replacements) {
-        next->first_keys.push_back(r->first_key);
+        first_keys.push_back(r->first_key);
         next->segments.push_back(r);
       }
       for (size_t i = idx + 1; i < dir->segments.size(); ++i) {
-        next->first_keys.push_back(dir->first_keys[i]);
+        first_keys.push_back(dir->first_keys.key_at(i));
         next->segments.push_back(dir->segments[i]);
       }
+      // Building the flat index (and its interpolation model) here, at
+      // publish time, is what keeps the descent itself read-only.
+      next->first_keys.Reset(std::move(first_keys));
       dir_.store(next.release(), std::memory_order_seq_cst);
       epoch_.Retire(const_cast<Directory*>(dir));
     }

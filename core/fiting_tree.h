@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "btree/btree_map.h"
+#include "common/prefetch.h"
 #include "common/timer.h"
+#include "core/flat_directory.h"
 #include "core/search_policy.h"
 #include "core/shrinking_cone.h"
 
@@ -52,7 +54,11 @@ struct FitingTreeConfig {
   // means merge on every mutation (write-pessimal, read-optimal);
   // kAutoBufferSize means error/2.
   size_t buffer_size = kAutoBufferSize;
-  SearchPolicy search_policy = SearchPolicy::kBinary;
+  // In-window search + directory descent strategy for the read path;
+  // defaults follow the FITREE_SEARCH_POLICY / FITREE_DIRECTORY env knobs
+  // (simd + flat unless overridden).
+  SearchPolicy search_policy = DefaultSearchPolicy();
+  DirectoryMode directory = DefaultDirectoryMode();
   Feasibility feasibility = Feasibility::kEndpointLine;
 };
 
@@ -137,6 +143,8 @@ class FitingTree {
   std::optional<V> Lookup(const K& key) const {
     const SegmentData* seg = LocateSegment(key);
     if (seg == nullptr) return std::nullopt;
+    // Start the page lines travelling while the buffer probe runs.
+    PrefetchPredicted(*seg, key);
     if (const BufferEntry* entry = FindBuffer(*seg, key)) {
       if (entry->tombstone) return std::nullopt;
       return entry->value;
@@ -157,6 +165,7 @@ class FitingTree {
                              int64_t* page_ns) const {
     Timer timer;
     const SegmentData* seg = LocateSegment(key);
+    if (seg != nullptr) PrefetchPredicted(*seg, key);
     *tree_ns += timer.ElapsedNs();
     timer.Reset();
     bool found = false;
@@ -187,6 +196,12 @@ class FitingTree {
       data->keys.push_back(key);
       data->values.push_back(value);
       directory_.Insert(key, data.get());
+      {
+        const K first_key = key;
+        SegmentData* ptr = data.get();
+        flat_dir_.Splice(0, 0, std::span<const K>(&first_key, 1),
+                         std::span<SegmentData* const>(&ptr, 1));
+      }
       segments_.push_back(std::move(data));
       ++live_segments_;
       ++size_;
@@ -270,9 +285,13 @@ class FitingTree {
   }
 
   // Directory nodes plus per-segment model metadata (the key pages and
-  // buffers are the data, not the index).
+  // buffers are the data, not the index). Charges whichever directory the
+  // read path actually descends.
   size_t IndexSizeBytes() const {
-    return directory_.MemoryBytes() + live_segments_ * kSegmentMetaBytes;
+    const size_t dir = config_.directory == DirectoryMode::kFlat
+                           ? flat_dir_.MemoryBytes()
+                           : directory_.MemoryBytes();
+    return dir + live_segments_ * kSegmentMetaBytes;
   }
 
   size_t SegmentCount() const { return live_segments_; }
@@ -303,6 +322,7 @@ class FitingTree {
       sizeof(K) + 2 * sizeof(double) + sizeof(void*);
 
   using Directory = btree::BTreeMap<K, SegmentData*, kLeafSlots, kInnerSlots>;
+  using FlatDir = FlatDirectory<K, SegmentData*>;
 
   void BulkLoad(std::span<const K> keys, std::span<const V> values) {
     size_ = keys.size();
@@ -328,14 +348,46 @@ class FitingTree {
       entries.emplace_back(m.first_key, data.get());
       segments_.push_back(std::move(data));
     }
+    // The flat mirror carries the same entries as the btree directory and
+    // is kept in sync by every mutation (bootstrap insert, merge splice),
+    // so the FITREE_DIRECTORY knob only selects the descent, not the state.
+    std::vector<K> flat_keys;
+    std::vector<SegmentData*> flat_ptrs;
+    flat_keys.reserve(entries.size());
+    flat_ptrs.reserve(entries.size());
+    for (const auto& [first_key, ptr] : entries) {
+      flat_keys.push_back(first_key);
+      flat_ptrs.push_back(ptr);
+    }
+    flat_dir_.BulkLoad(std::move(flat_keys), std::move(flat_ptrs));
     directory_.BulkLoad(std::move(entries));
     live_segments_ = segments_.size();
   }
 
   const SegmentData* LocateSegment(const K& key) const {
+    if (config_.directory == DirectoryMode::kFlat) {
+      if (flat_dir_.empty()) return nullptr;
+      const size_t i = flat_dir_.FloorIndex(key);
+      // Below-leftmost keys fall to the first segment, matching the btree
+      // path's FindFloor-else-First rule.
+      return flat_dir_.value_at(i == FlatDir::kNone ? 0 : i);
+    }
     SegmentData* const* seg = directory_.FindFloor(key);
     if (seg == nullptr) seg = directory_.First();
     return seg == nullptr ? nullptr : *seg;
+  }
+
+  // Prefetch the predicted in-page position (keys and payloads) so the
+  // lines arrive while the buffer probe between descent and page search is
+  // still executing.
+  void PrefetchPredicted(const SegmentData& seg, const K& key) const {
+    const size_t n = seg.keys.size();
+    if (n == 0) return;
+    const double pred = seg.Predict(key);
+    const size_t hint =
+        pred <= 0.0 ? 0 : std::min(n - 1, static_cast<size_t>(pred));
+    PrefetchRead(seg.keys.data() + hint);
+    PrefetchRead(seg.values.data() + hint);
   }
 
   SegmentData* LocateSegmentMutable(const K& key) {
@@ -437,6 +489,10 @@ class FitingTree {
       }
     }
 
+    // Exact-match floor: the merged segment's slot in the flat mirror,
+    // spliced below once the replacement set is known.
+    const size_t fpos = flat_dir_.FloorIndex(seg->first_key);
+    assert(fpos != FlatDir::kNone && flat_dir_.key_at(fpos) == seg->first_key);
     directory_.Erase(seg->first_key);
     if (merged.empty()) {
       // Every key of this segment was deleted: retire and free it. Its key
@@ -451,6 +507,7 @@ class FitingTree {
       assert(it != segments_.end());
       std::swap(*it, segments_.back());
       segments_.pop_back();
+      flat_dir_.Splice(fpos, 1, {}, {});
       --live_segments_;
       ++stats_.segments_retired;
       return;
@@ -462,6 +519,10 @@ class FitingTree {
 
     // Reuse the merged segment's slot for the first replacement model and
     // append the rest.
+    std::vector<K> new_keys;
+    std::vector<SegmentData*> new_ptrs;
+    new_keys.reserve(models.size());
+    new_ptrs.reserve(models.size());
     for (size_t m = 0; m < models.size(); ++m) {
       SegmentData* target;
       if (m == 0) {
@@ -482,13 +543,20 @@ class FitingTree {
       target->buffer.clear();
       target->buffer.shrink_to_fit();
       directory_.Insert(model.first_key, target);
+      new_keys.push_back(model.first_key);
+      new_ptrs.push_back(target);
     }
+    // The replacement models span the same key range in order, so the
+    // splice is positional; the common one-for-one case is an in-place
+    // overwrite with no tail move.
+    flat_dir_.Splice(fpos, 1, new_keys, new_ptrs);
   }
 
   FitingTreeConfig config_;
   size_t effective_buffer_ = 0;
   std::vector<std::unique_ptr<SegmentData>> segments_;
   Directory directory_;
+  FlatDir flat_dir_;  // read-path mirror of directory_ (see BulkLoad)
   size_t live_segments_ = 0;
   size_t size_ = 0;
   FitingTreeStats stats_;

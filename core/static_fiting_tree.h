@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "btree/btree_map.h"
+#include "common/prefetch.h"
+#include "core/flat_directory.h"
 #include "core/search_policy.h"
 #include "core/shrinking_cone.h"
 
@@ -32,21 +34,27 @@ namespace fitree {
 template <typename K>
 class StaticFitingTree {
  public:
+  // Policy/directory defaults come from the FITREE_SEARCH_POLICY /
+  // FITREE_DIRECTORY knobs (simd + flat unless overridden), so benches and
+  // differential suites exercise the fast path by default.
   static std::unique_ptr<StaticFitingTree<K>> Create(
       const std::vector<K>& keys, double error,
-      SearchPolicy policy = SearchPolicy::kBinary,
-      Feasibility feasibility = Feasibility::kEndpointLine) {
-    return Create(keys, {}, error, policy, feasibility);
+      SearchPolicy policy = DefaultSearchPolicy(),
+      Feasibility feasibility = Feasibility::kEndpointLine,
+      DirectoryMode directory = DefaultDirectoryMode()) {
+    return Create(keys, {}, error, policy, feasibility, directory);
   }
 
   // Bulk-loads `keys` with explicit rank->payload values (empty = payload
   // is the rank itself, the serializer's default).
   static std::unique_ptr<StaticFitingTree<K>> Create(
       const std::vector<K>& keys, const std::vector<uint64_t>& values,
-      double error, SearchPolicy policy = SearchPolicy::kBinary,
-      Feasibility feasibility = Feasibility::kEndpointLine) {
+      double error, SearchPolicy policy = DefaultSearchPolicy(),
+      Feasibility feasibility = Feasibility::kEndpointLine,
+      DirectoryMode directory = DefaultDirectoryMode()) {
     auto tree = std::make_unique<StaticFitingTree<K>>();
     tree->policy_ = policy;
+    tree->directory_mode_ = directory;
     tree->feasibility_ = feasibility;
     tree->BulkLoad(std::span<const K>(keys), std::span<const uint64_t>(values),
                    error);
@@ -67,10 +75,17 @@ class StaticFitingTree {
     segments_ = SegmentShrinkingCone<K>(data_, error, feasibility_);
     std::vector<std::pair<K, uint32_t>> entries;
     entries.reserve(segments_.size());
+    std::vector<K> first_keys;
+    first_keys.reserve(segments_.size());
     for (size_t i = 0; i < segments_.size(); ++i) {
       entries.emplace_back(segments_[i].first_key, static_cast<uint32_t>(i));
+      first_keys.push_back(segments_[i].first_key);
     }
     directory_.BulkLoad(std::move(entries));
+    // Segment ids are 0..n-1 in first-key order, so the flat floor index is
+    // itself the id; both directories are kept loaded so the
+    // FITREE_DIRECTORY knob can ablate descent cost on the same tree.
+    flat_index_.Reset(std::move(first_keys));
   }
 
   size_t size() const { return data_.size(); }
@@ -134,9 +149,13 @@ class StaticFitingTree {
   }
 
   // Directory plus per-segment model metadata; the data array itself is the
-  // indexed table, not the index (paper's accounting in Fig 6/9).
+  // indexed table, not the index (paper's accounting in Fig 6/9). Charges
+  // whichever directory the read path actually descends.
   size_t IndexSizeBytes() const {
-    return directory_.MemoryBytes() + segments_.size() * kSegmentMetaBytes;
+    const size_t dir = directory_mode_ == DirectoryMode::kFlat
+                           ? flat_index_.MemoryBytes()
+                           : directory_.MemoryBytes();
+    return dir + segments_.size() * kSegmentMetaBytes;
   }
 
   // The segment table in the fixed-width form the storage/ serializer
@@ -162,13 +181,22 @@ class StaticFitingTree {
 
   size_t Bound(const K& key, bool upper) const {
     if (data_.empty()) return 0;
-    const uint32_t* id = directory_.FindFloor(key);
-    if (id == nullptr) return 0;  // key sorts before every indexed key
-    const Segment<K>& seg = segments_[*id];
+    size_t id;
+    if (directory_mode_ == DirectoryMode::kFlat) {
+      id = flat_index_.FloorIndex(key);
+      if (id == FlatKeyIndex<K>::kNone) return 0;  // before every indexed key
+    } else {
+      const uint32_t* found = directory_.FindFloor(key);
+      if (found == nullptr) return 0;  // key sorts before every indexed key
+      id = *found;
+    }
+    const Segment<K>& seg = segments_[id];
     const size_t seg_end = seg.start + seg.length;
     const double pred = seg.Predict(key);
     const auto [begin, end] = ErrorWindow(pred, error_, seg.start, seg_end);
     const size_t hint = static_cast<size_t>(std::max(0.0, pred));
+    // Pull the predicted line in while the window bounds resolve.
+    PrefetchRead(data_.data() + std::min(hint, data_.size() - 1));
     size_t i = detail::BoundedLowerBound(data_.data(), begin, end, hint, key,
                                          policy_);
     if (upper) {
@@ -179,11 +207,13 @@ class StaticFitingTree {
 
   double error_ = 0.0;
   SearchPolicy policy_ = SearchPolicy::kBinary;
+  DirectoryMode directory_mode_ = DirectoryMode::kFlat;
   Feasibility feasibility_ = Feasibility::kEndpointLine;
   std::vector<K> data_;
   std::vector<uint64_t> values_;  // empty = payload is the rank
   std::vector<Segment<K>> segments_;
   btree::BTreeMap<K, uint32_t, 16, 16> directory_;
+  FlatKeyIndex<K> flat_index_;  // same entries, read-path descent form
 };
 
 }  // namespace fitree

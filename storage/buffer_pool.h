@@ -46,6 +46,16 @@ class BufferPool {
     return map_.find(page_id) != map_.end();
   }
 
+  // Resident frame data for `page_id` without pinning or counting, or
+  // nullptr on a miss. For prefetch hints only: the frame may be evicted
+  // at any later point, so callers must not dereference the pointer —
+  // issuing a software prefetch for it is always safe.
+  const std::byte* Peek(uint32_t page_id) const {
+    const auto it = map_.find(page_id);
+    if (it == map_.end()) return nullptr;
+    return arena_.data() + it->second * page_bytes_;
+  }
+
   // Returns the resident page, pinned (caller must Unpin), or nullptr when
   // the read fails verification or every frame is pinned.
   const std::byte* Fetch(uint32_t page_id) {

@@ -39,7 +39,10 @@
 
 #include "btree/btree_map.h"
 #include "common/io_stats.h"
+#include "common/prefetch.h"
 #include "core/fiting_tree.h"
+#include "core/flat_directory.h"
+#include "core/search_policy.h"
 #include "core/shrinking_cone.h"
 #include "core/static_fiting_tree.h"
 #include "storage/buffer_pool.h"
@@ -54,6 +57,11 @@ class DiskFitingTree {
     // Buffer-pool capacity in pages; 1.0 * leaf pages means the whole
     // data file fits (plus the handful of non-leaf pages never cached).
     size_t cache_pages = 64;
+    // In-page bounded-search strategy and directory descent form; defaults
+    // follow the FITREE_SEARCH_POLICY / FITREE_DIRECTORY knobs (simd +
+    // flat unless overridden).
+    SearchPolicy search_policy = DefaultSearchPolicy();
+    DirectoryMode directory = DefaultDirectoryMode();
   };
 
   // Opens `path`, loads the meta page and segment table, and builds the
@@ -108,28 +116,23 @@ class DiskFitingTree {
   // the paged keys; the delta overlay has no ranks until Compact folds it
   // in). Every candidate page is faulted through the buffer pool.
   size_t LowerBound(const K& key) {
-    if (base_size() == 0) return 0;
-    const uint32_t* id = directory_.FindFloor(key);
-    if (id == nullptr) return 0;  // key sorts before every indexed key
-    const PackedSegment<K>& seg = segments_[*id];
-    const size_t seg_start = static_cast<size_t>(seg.start);
-    const size_t seg_end = seg_start + static_cast<size_t>(seg.length);
-    const auto [begin, end] = fitree::ErrorWindow(
-        seg.Predict(key), reader_.meta().error, seg_start, seg_end);
-    return WindowLowerBound(begin, end, key);
+    return LowerBoundAt(FloorSlot(key), key);
   }
 
   // Payload stored for `key`, or nullopt when absent. The delta overlay
   // overrides the file: a tombstone hides the paged key, a live entry
-  // supersedes (or precedes) it.
+  // supersedes (or precedes) it. One directory descent serves the delta
+  // probe and the paged search.
   std::optional<uint64_t> Lookup(const K& key) {
-    const DeltaMap& delta = DeltaFor(key);
+    const size_t floor = FloorSlot(key);
+    PrefetchPredictedFrame(floor, key);
+    const DeltaMap& delta = deltas_[floor == kNoSlot ? 0 : floor];
     const auto it = delta.find(key);
     if (it != delta.end()) {
       if (it->second.tombstone) return std::nullopt;
       return it->second.value;
     }
-    return BaseLookup(key);
+    return BaseLookupAt(floor, key);
   }
 
   bool Contains(const K& key) { return Lookup(key).has_value(); }
@@ -283,6 +286,10 @@ class DiskFitingTree {
  private:
   DiskFitingTree() = default;
 
+  // "Key sorts before every segment's first key" sentinel, shared with
+  // FlatKeyIndex::kNone so the flat descent needs no translation.
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
   struct DeltaEntry {
     uint64_t value = 0;
     bool tombstone = false;
@@ -300,23 +307,61 @@ class DiskFitingTree {
         std::max<size_t>(1, options_.cache_pages));
     std::vector<std::pair<K, uint32_t>> entries;
     entries.reserve(segments_.size());
+    std::vector<K> first_keys;
+    first_keys.reserve(segments_.size());
     for (size_t i = 0; i < segments_.size(); ++i) {
       entries.emplace_back(segments_[i].first_key, static_cast<uint32_t>(i));
+      first_keys.push_back(segments_[i].first_key);
     }
     directory_.BulkLoad(std::move(entries));
+    // Segment ids are 0..n-1 in first-key order, so the flat floor index
+    // is itself the id. The directory only changes on Load/Compact, so the
+    // flat form can serve every descent when selected.
+    flat_index_.Reset(std::move(first_keys));
     deltas_.assign(std::max<size_t>(1, segments_.size()), DeltaMap{});
     delta_entries_ = 0;
     size_ = reader_.meta().key_count;
     return true;
   }
 
+  // Directory floor of `key` in whichever descent form options_ selects,
+  // or kNoSlot when `key` sorts before every indexed first key.
+  size_t FloorSlot(const K& key) const {
+    if (options_.directory == DirectoryMode::kFlat) {
+      return flat_index_.FloorIndex(key);  // FlatKeyIndex::kNone == kNoSlot
+    }
+    const uint32_t* id = directory_.FindFloor(key);
+    return id == nullptr ? kNoSlot : static_cast<size_t>(*id);
+  }
+
   // Overlay segment for `key`: its directory floor, else segment 0 (keys
   // below every first key, and the whole keyspace of an empty base file).
   size_t DeltaSlot(const K& key) const {
-    const uint32_t* id = directory_.FindFloor(key);
-    return id == nullptr ? 0 : static_cast<size_t>(*id);
+    const size_t floor = FloorSlot(key);
+    return floor == kNoSlot ? 0 : floor;
   }
   DeltaMap& DeltaFor(const K& key) { return deltas_[DeltaSlot(key)]; }
+
+  // Prefetch the predicted rank's position in its resident pool frame (if
+  // cached) so the line travels while the delta probe runs. A miss is left
+  // alone — faulting a page is the buffer pool's decision, not a hint's.
+  void PrefetchPredictedFrame(size_t floor, const K& key) const {
+    if (floor == kNoSlot || base_size() == 0) return;
+    const PackedSegment<K>& seg = segments_[floor];
+    const size_t seg_start = static_cast<size_t>(seg.start);
+    const size_t seg_end = seg_start + static_cast<size_t>(seg.length);
+    const double pred = seg.Predict(key);
+    const size_t rank =
+        pred <= static_cast<double>(seg_start)
+            ? seg_start
+            : std::min(seg_end - 1, static_cast<size_t>(pred));
+    const size_t cap = reader_.meta().leaf_capacity;
+    if (const std::byte* frame =
+            pool_->Peek(reader_.LeafPageId(rank / cap))) {
+      PrefetchRead(frame + kPageHeaderBytes +
+                   (rank % cap) * sizeof(LeafEntry<K>));
+    }
+  }
 
   // Cursor over the concatenation of per-segment deltas — globally sorted
   // because each key's slot is its directory floor.
@@ -368,10 +413,27 @@ class DiskFitingTree {
     return emitted;
   }
 
+  // Lower bound of `key` over the base file, descending from an
+  // already-resolved directory floor.
+  size_t LowerBoundAt(size_t floor, const K& key) {
+    if (base_size() == 0) return 0;
+    if (floor == kNoSlot) return 0;  // key sorts before every indexed key
+    const PackedSegment<K>& seg = segments_[floor];
+    const size_t seg_start = static_cast<size_t>(seg.start);
+    const size_t seg_end = seg_start + static_cast<size_t>(seg.length);
+    const auto [begin, end] = fitree::ErrorWindow(
+        seg.Predict(key), reader_.meta().error, seg_start, seg_end);
+    return WindowLowerBound(begin, end, key);
+  }
+
   // Paged lookup, delta overlay excluded.
   std::optional<uint64_t> BaseLookup(const K& key) {
+    return BaseLookupAt(FloorSlot(key), key);
+  }
+
+  std::optional<uint64_t> BaseLookupAt(size_t floor, const K& key) {
     if (base_size() == 0) return std::nullopt;
-    const size_t rank = LowerBound(key);
+    const size_t rank = LowerBoundAt(floor, key);
     if (rank >= base_size()) return std::nullopt;
     const auto entry = EntryAt(rank);
     if (!entry.has_value() || entry->key != key) return std::nullopt;
@@ -408,6 +470,21 @@ class DiskFitingTree {
                          (rank % cap) * sizeof(LeafEntry<K>));
       };
       if (key_at(slice_end - 1) < key) continue;  // answer is further right
+      if (options_.search_policy == SearchPolicy::kSimd) {
+        // Branchless narrow over in-page ranks, then a strided vector
+        // count over the packed {key, payload} records. The slice never
+        // crosses the page, so b % cap + m stays within the pinned frame.
+        size_t b = slice_begin;
+        size_t m = slice_end - slice_begin;
+        while (m > simd::kSimdWindowKeys) {
+          const size_t half = m / 2;
+          b = key_at(b + half - 1) < key ? b + half : b;
+          m -= half;
+        }
+        const std::byte* base =
+            pin.data() + kPageHeaderBytes + (b % cap) * sizeof(LeafEntry<K>);
+        return b + simd::CountLessStrided(base, sizeof(LeafEntry<K>), m, key);
+      }
       size_t lo = slice_begin, hi = slice_end;
       while (lo < hi) {
         const size_t mid = lo + (hi - lo) / 2;
@@ -428,6 +505,7 @@ class DiskFitingTree {
   std::unique_ptr<BufferPool> pool_;
   std::vector<PackedSegment<K>> segments_;
   btree::BTreeMap<K, uint32_t, 16, 16> directory_;
+  FlatKeyIndex<K> flat_index_;  // same entries, read-path descent form
   std::vector<DeltaMap> deltas_;  // parallel to segments_ (>= 1 slot)
   size_t delta_entries_ = 0;      // live + tombstone entries across slots
   size_t size_ = 0;               // live keys: base + inserts - deletes

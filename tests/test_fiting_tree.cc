@@ -136,8 +136,9 @@ TEST(FitingTree, SearchPoliciesAgree) {
   const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
       keys, 2000, fitree::workloads::Access::kUniform, 0.5, 16);
   std::vector<bool> expected;
-  for (const auto policy : {SearchPolicy::kBinary, SearchPolicy::kLinear,
-                            SearchPolicy::kExponential}) {
+  for (const auto policy :
+       {SearchPolicy::kBinary, SearchPolicy::kLinear,
+        SearchPolicy::kExponential, SearchPolicy::kSimd}) {
     FitingTreeConfig config;
     config.error = 512.0;
     config.buffer_size = 0;
@@ -356,6 +357,25 @@ TEST(FitingTreeCrudProperty, DifferentialVsMapOracle) {
   auto tree = FitingTree<int64_t>::Create(keys, values, config);
   ASSERT_NO_FATAL_FAILURE(RunCrudDifferential(*tree, oracle, opt));
   EXPECT_GT(tree->stats().segment_merges, 0u);
+}
+
+// Same differential churn with the btree directory descent selected, so
+// both forms of LocateSegment stay covered (the flat mirror is maintained
+// either way; only the read path differs).
+TEST(FitingTreeCrudProperty, DifferentialBTreeDirectory) {
+  CrudOptions opt;
+  opt.seed = 0xD1CE;
+  opt.ops = PropertyOps(30000);
+  std::map<int64_t, uint64_t> oracle;
+  std::vector<int64_t> keys;
+  std::vector<uint64_t> values;
+  MakeInitialLoad(opt, /*load_every=*/2, &keys, &values, &oracle);
+  FitingTreeConfig config;
+  config.error = 32.0;
+  config.buffer_size = 8;
+  config.directory = fitree::DirectoryMode::kBTree;
+  auto tree = FitingTree<int64_t>::Create(keys, values, config);
+  ASSERT_NO_FATAL_FAILURE(RunCrudDifferential(*tree, oracle, opt));
 }
 
 TEST(FitingTreeCrudProperty, DifferentialFromEmptyTree) {

@@ -44,9 +44,28 @@ void CheckAgainstFlatOracle(const std::vector<int64_t>& keys, double error,
 
 TEST(StaticFitingTree, LookupMatchesOracleAllPolicies) {
   const auto keys = fitree::datasets::Weblogs(30000, 1);
-  for (const auto policy : {SearchPolicy::kBinary, SearchPolicy::kLinear,
-                            SearchPolicy::kExponential}) {
+  for (const auto policy :
+       {SearchPolicy::kBinary, SearchPolicy::kLinear,
+        SearchPolicy::kExponential, SearchPolicy::kSimd}) {
     CheckAgainstFlatOracle(keys, 64.0, policy);
+  }
+}
+
+TEST(StaticFitingTree, DirectoryModesAgree) {
+  const auto keys = fitree::datasets::Weblogs(30000, 4);
+  for (const auto mode :
+       {fitree::DirectoryMode::kBTree, fitree::DirectoryMode::kFlat}) {
+    auto tree = StaticFitingTree<int64_t>::Create(
+        keys, 64.0, SearchPolicy::kSimd, fitree::Feasibility::kEndpointLine,
+        mode);
+    const auto probes = fitree::workloads::MakeLookupProbes<int64_t>(
+        keys, 3000, fitree::workloads::Access::kUniform, 0.4, 17);
+    for (const int64_t probe : probes) {
+      const auto expected =
+          std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin();
+      ASSERT_EQ(tree->LowerBound(probe), static_cast<size_t>(expected));
+    }
+    EXPECT_GT(tree->IndexSizeBytes(), 0u);
   }
 }
 
