@@ -35,6 +35,7 @@
 #include "concurrency/mutex_fiting_tree.h"
 #include "core/fiting_tree.h"
 #include "datasets/datasets.h"
+#include "telemetry/registry.h"
 #include "workloads/workloads.h"
 
 namespace fitree::bench {
@@ -132,6 +133,69 @@ RunResult DriveThreads(Index& index, const Streams& streams) {
     r.p99_ns = static_cast<double>(merged[merged.size() * 99 / 100]);
   }
   return r;
+}
+
+// Issued-op totals of a set of streams, bucketed by telemetry op id.
+struct IssuedOps {
+  uint64_t lookups = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t scans = 0;
+};
+
+IssuedOps CountIssuedOps(const Streams& streams) {
+  IssuedOps issued;
+  for (const auto& stream : streams) {
+    for (const Op<Key>& op : stream) {
+      switch (op.type) {
+        case OpType::kRead: ++issued.lookups; break;
+        case OpType::kInsert: ++issued.inserts; break;
+        case OpType::kUpdate: ++issued.updates; break;
+        case OpType::kDelete: ++issued.deletes; break;
+        case OpType::kScan: ++issued.scans; break;
+      }
+    }
+  }
+  return issued;
+}
+
+// Point-in-time read of the concurrent engine's registry op counters.
+IssuedOps ConcurrentOpCounts() {
+  namespace tel = fitree::telemetry;
+  auto& reg = tel::Registry::Get();
+  const auto load = [&](tel::Op op) {
+    return reg.op_count(tel::Engine::kConcurrent, op).Load();
+  };
+  IssuedOps c;
+  c.lookups = load(tel::Op::kLookup);
+  c.inserts = load(tel::Op::kInsert);
+  c.updates = load(tel::Op::kUpdate);
+  c.deletes = load(tel::Op::kDelete);
+  c.scans = load(tel::Op::kScan);
+  return c;
+}
+
+// Telemetry exactness check (acceptance criterion): after the drive
+// quiesces — threads joined, background merges drained — the registry's
+// per-op deltas for the concurrent engine must equal the driver's issued
+// totals EXACTLY (op counters count calls, so rejected duplicate inserts
+// still count). Runs before Validate(), whose extra Contains/ScanRange
+// probes would land on the same counters. Any mismatch aborts the bench.
+void ValidateTelemetryCounts(const IssuedOps& before, const IssuedOps& after,
+                             const IssuedOps& issued) {
+  if (!fitree::telemetry::kEnabled) return;
+  const auto check = [](const char* op, uint64_t got, uint64_t want) {
+    if (got != want) {
+      Die(std::string("concurrent: telemetry ") + op + " count " +
+          std::to_string(got) + " != issued " + std::to_string(want));
+    }
+  };
+  check("lookup", after.lookups - before.lookups, issued.lookups);
+  check("insert", after.inserts - before.inserts, issued.inserts);
+  check("update", after.updates - before.updates, issued.updates);
+  check("delete", after.deletes - before.deletes, issued.deletes);
+  check("scan", after.scans - before.scans, issued.scans);
 }
 
 // Reference final state: base keys plus every insert in the op log (set
@@ -241,19 +305,44 @@ void RunConcurrent(Runner& runner) {
         {
           RunResult last;
           double segments = 0.0, merges = 0.0;
+          IssuedOps telem_delta;
+          const IssuedOps issued = CountIssuedOps(streams);
           const Stats stats = runner.CollectReps([&] {
             ConcurrentFitingTreeConfig config;
             config.error = error;
             config.background_merge = bg_merge;
             auto tree = ConcurrentFitingTree<Key>::Create(*keys, config);
+            const IssuedOps telem_before = ConcurrentOpCounts();
             last = DriveThreads(*tree, streams);
             tree->QuiesceMerges();
+            const IssuedOps telem_after = ConcurrentOpCounts();
+            ValidateTelemetryCounts(telem_before, telem_after, issued);
+            telem_delta = {telem_after.lookups - telem_before.lookups,
+                           telem_after.inserts - telem_before.inserts,
+                           telem_after.updates - telem_before.updates,
+                           telem_after.deletes - telem_before.deletes,
+                           telem_after.scans - telem_before.scans};
             Validate(*tree, ref, "concurrent");
             segments = static_cast<double>(tree->SegmentCount());
             merges = static_cast<double>(tree->stats().segment_merges);
             return last.ns_per_op;
           }, /*warmup=*/false);
-          report("concurrent", stats, last, segments, merges);
+          runner.Report(
+              {{"mix", mix.name},
+               {"access", access_name},
+               {"threads", std::to_string(threads)},
+               {"structure", "concurrent"}},
+              stats,
+              {{"Mops", MopsFromNsPerOp(stats.p50)},
+               {"p50_ns", last.p50_ns},
+               {"p99_ns", last.p99_ns},
+               {"segments", segments},
+               {"merges", merges},
+               // Registry-observed op counts for the last rep (validated
+               // above to equal the issued totals exactly).
+               {"telem_lookups", static_cast<double>(telem_delta.lookups)},
+               {"telem_inserts", static_cast<double>(telem_delta.inserts)},
+               {"telem_scans", static_cast<double>(telem_delta.scans)}});
         }
 
         {

@@ -271,7 +271,7 @@ void RunCrud(Runner& runner) {
         // Disk: serialize once per rep (fresh overlay), mutate through the
         // delta, validate, then compact and validate again.
         double pages_per_op = 0.0, hit_rate = 0.0, delta_entries = 0.0;
-        double compact_ms = 0.0;
+        double compact_ms = 0.0, compact_pages = 0.0;
         const Stats stats = runner.CollectReps([&] {
           const auto base =
               StaticFitingTree<Key>::Create(*keys, values, kError);
@@ -296,6 +296,7 @@ void RunCrud(Runner& runner) {
           if (!disk->Compact()) Die("crud: Compact() failed");
           compact_ms =
               static_cast<double>(compact_timer.ElapsedNs()) / 1e6;
+          compact_pages = static_cast<double>(disk->CompactPagesRewritten());
           if (disk->DeltaEntries() != 0) {
             Die("crud: overlay not empty after Compact()");
           }
@@ -307,7 +308,8 @@ void RunCrud(Runner& runner) {
                {{"pages_read_per_op", pages_per_op},
                 {"hit_rate", hit_rate},
                 {"delta_entries", delta_entries},
-                {"compact_ms", compact_ms}});
+                {"compact_ms", compact_ms},
+                {"compact_pages", compact_pages}});
       }
     }
   }

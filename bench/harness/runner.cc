@@ -14,6 +14,8 @@
 #include <thread>
 
 #include "common/table_printer.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 extern "C" char** environ;
 
@@ -392,6 +394,84 @@ Json CaptureEnvironment() {
   return env;
 }
 
+Json TelemetryToJson() {
+  namespace tm = fitree::telemetry;
+  Json telem = Json::Object();
+  telem.Set("enabled", Json(tm::kEnabled));
+  if (!tm::kEnabled) return telem;
+#ifndef FITREE_NO_TELEMETRY
+  telem.Set("sample_period", Json(tm::SamplePeriod()));
+#endif
+
+  const tm::RegistrySnapshot snap = tm::Registry::Get().Snapshot();
+
+  // Per-(engine, op) traffic: exact call counts, plus the sampled latency
+  // distribution when any samples were recorded. Zero-count cells are
+  // omitted — the grid is sparse in any one bench configuration.
+  Json ops = Json::Array();
+  for (size_t e = 0; e < tm::kNumEngines; ++e) {
+    for (size_t o = 0; o < tm::kNumOps; ++o) {
+      const auto& cell = snap.ops[e][o];
+      if (cell.count == 0) continue;
+      Json entry = Json::Object();
+      entry.Set("engine", Json(tm::EngineName(static_cast<tm::Engine>(e))));
+      entry.Set("op", Json(tm::OpName(static_cast<tm::Op>(o))));
+      entry.Set("count", Json(cell.count));
+      entry.Set("samples", Json(cell.latency.total));
+      if (!cell.latency.empty()) {
+        entry.Set("p50_ns", Json(cell.latency.PercentileNs(50.0)));
+        entry.Set("p99_ns", Json(cell.latency.PercentileNs(99.0)));
+        entry.Set("p999_ns", Json(cell.latency.PercentileNs(99.9)));
+        entry.Set("max_ns", Json(cell.latency.MaxNs()));
+        entry.Set("mean_ns", Json(cell.latency.MeanNs()));
+      }
+      ops.Push(std::move(entry));
+    }
+  }
+  telem.Set("ops", std::move(ops));
+
+  // All named counters and gauges, zero or not: a fixed-shape section is
+  // what tools/stats_dump.py and diffing scripts key on.
+  Json counters = Json::Object();
+  for (size_t i = 0; i < tm::kNumCounters; ++i) {
+    counters.Set(tm::CounterName(static_cast<tm::CounterId>(i)),
+                 Json(snap.counters[i]));
+  }
+  telem.Set("counters", std::move(counters));
+  Json gauges = Json::Object();
+  for (size_t i = 0; i < tm::kNumGauges; ++i) {
+    gauges.Set(tm::GaugeName(static_cast<tm::GaugeId>(i)),
+               Json(snap.gauges[i]));
+  }
+  telem.Set("gauges", std::move(gauges));
+
+  // The dump-to-JSON path for the FITREE_TRACE ring buffers: merged,
+  // time-ordered binary records rendered as objects. Only materialized
+  // when tracing is on (rings are bounded, so this stays small).
+  const tm::TraceDump dump = tm::trace::Collect();
+  Json trace = Json::Object();
+  trace.Set("enabled", Json(dump.enabled));
+  if (dump.enabled) {
+    trace.Set("threads", Json(static_cast<uint64_t>(dump.threads)));
+    trace.Set("emitted", Json(dump.emitted));
+    trace.Set("dropped", Json(dump.dropped));
+    Json records = Json::Array();
+    for (const tm::TraceRecord& r : dump.records) {
+      Json rec = Json::Object();
+      rec.Set("t_ns", Json(r.t_ns));
+      rec.Set("tid", Json(static_cast<uint64_t>(r.tid)));
+      rec.Set("engine",
+              Json(tm::EngineName(static_cast<tm::Engine>(r.engine))));
+      rec.Set("op", Json(tm::OpName(static_cast<tm::Op>(r.op))));
+      rec.Set("arg_ns", Json(r.arg));
+      records.Push(std::move(rec));
+    }
+    trace.Set("records", std::move(records));
+  }
+  telem.Set("trace", std::move(trace));
+  return telem;
+}
+
 Json MakeResultsDocument(const Json& environment, int reps,
                          const std::vector<ResultRecord>& records) {
   Json doc = Json::Object();
@@ -401,6 +481,10 @@ Json MakeResultsDocument(const Json& environment, int reps,
   Json results = Json::Array();
   for (const ResultRecord& r : records) results.Push(ResultRecordToJson(r));
   doc.Set("results", std::move(results));
+  // Cumulative registry snapshot for the whole run: per-op counts and
+  // latency percentiles across every experiment executed by this process,
+  // plus the trace dump when FITREE_TRACE was on.
+  doc.Set("telemetry", TelemetryToJson());
   return doc;
 }
 

@@ -171,6 +171,13 @@ std::optional<ResultRecord> ResultRecordFromJson(const Json& json);
 // FITREE_* environment knob that is set.
 Json CaptureEnvironment();
 
+// Snapshot of the process-wide telemetry registry as one JSON object (the
+// "telemetry" member of BENCH_results.json; schema in EXPERIMENTS.md):
+// per-(engine, op) counts + sampled latency percentiles, the named
+// counters and gauges, and — when FITREE_TRACE is on — the merged trace
+// ring dump. {"enabled": false} under -DFITREE_NO_TELEMETRY.
+Json TelemetryToJson();
+
 // Assembles the top-level BENCH_results.json document.
 Json MakeResultsDocument(const Json& environment, int reps,
                          const std::vector<ResultRecord>& records);

@@ -1,6 +1,13 @@
 // I/O accounting for the storage/ layer, playing the role memory_cost.h
 // plays for the in-memory cost model: the paper charges lookups in pages,
 // so disk benches report pages-read/op next to ns/op.
+//
+// Compat note: the process-wide aggregate of these counters now lives in
+// the telemetry registry (telemetry/metrics.h CounterId::kIo*) — every
+// BufferPool mirrors its increments there, so one registry snapshot
+// carries the cross-instance I/O picture. This struct remains the
+// per-pool view (snapshot-and-subtract against a single instance), which
+// the registry's process-global counters cannot express.
 
 #ifndef FITREE_COMMON_IO_STATS_H_
 #define FITREE_COMMON_IO_STATS_H_

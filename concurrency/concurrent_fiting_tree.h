@@ -61,6 +61,8 @@
 #include "core/flat_directory.h"
 #include "core/search_policy.h"
 #include "core/shrinking_cone.h"
+#include "telemetry/registry.h"
+#include "telemetry/structural.h"
 
 namespace fitree {
 
@@ -149,6 +151,8 @@ class ConcurrentFitingTree {
   // overrides the page: a tombstone hides the paged key, a live override
   // supersedes the paged payload.
   std::optional<V> Lookup(const K& key) const {
+    telemetry::ScopedOp telem(telemetry::Engine::kConcurrent,
+                              telemetry::Op::kLookup);
     EpochGuard guard(epoch_);
     const Directory* dir = dir_.load(std::memory_order_seq_cst);
     const Segment* seg = dir->Floor(key);
@@ -175,6 +179,10 @@ class ConcurrentFitingTree {
   // segment's latch; overflow triggers merge-and-resegment, inline or via
   // the background worker.
   bool Insert(const K& key, const V& value = V{}) {
+    // Counts the call (like stats_inserts_), not the success — what lets a
+    // driver check its issued-op totals against the registry exactly.
+    telemetry::ScopedOp telem(telemetry::Engine::kConcurrent,
+                              telemetry::Op::kInsert);
     stats_inserts_.fetch_add(1, std::memory_order_relaxed);
     EpochGuard guard(epoch_);
     for (;;) {
@@ -224,6 +232,8 @@ class ConcurrentFitingTree {
   // Updating a paged key writes a live override entry into the buffer (the
   // page is immutable); the next merge folds it into the new page.
   bool Update(const K& key, const V& value) {
+    telemetry::ScopedOp telem(telemetry::Engine::kConcurrent,
+                              telemetry::Op::kUpdate);
     EpochGuard guard(epoch_);
     for (;;) {
       const Directory* dir = dir_.load(std::memory_order_seq_cst);
@@ -263,6 +273,8 @@ class ConcurrentFitingTree {
   // outright. Tombstones count against the buffer budget, so delete-heavy
   // traffic merges just like insert-heavy traffic.
   bool Delete(const K& key) {
+    telemetry::ScopedOp telem(telemetry::Engine::kConcurrent,
+                              telemetry::Op::kDelete);
     EpochGuard guard(epoch_);
     for (;;) {
       const Directory* dir = dir_.load(std::memory_order_seq_cst);
@@ -314,6 +326,8 @@ class ConcurrentFitingTree {
   // most ~error/2 entries).
   template <typename Fn>
   void ScanRange(const K& lo, const K& hi, Fn fn) const {
+    telemetry::ScopedOp telem(telemetry::Engine::kConcurrent,
+                              telemetry::Op::kScan);
     if (hi < lo) return;
     EpochGuard guard(epoch_);
     const Directory* dir = dir_.load(std::memory_order_seq_cst);
@@ -351,6 +365,50 @@ class ConcurrentFitingTree {
     s.segments_retired = stats_retired_.load(std::memory_order_relaxed);
     s.insert_retries = stats_retries_.load(std::memory_order_relaxed);
     return s;
+  }
+
+  // Structural snapshot (telemetry tentpole): reads one directory snapshot
+  // under an epoch guard, so the segment walk is safe against concurrent
+  // merges; buffer occupancy uses the latch-elision counters (relaxed — a
+  // racing write may be off by one, the level is advisory).
+  telemetry::StructuralStats Stats() const {
+    telemetry::StructuralStats st;
+    st.engine = telemetry::EngineName(telemetry::Engine::kConcurrent);
+    EpochGuard guard(epoch_);
+    const Directory* dir = dir_.load(std::memory_order_seq_cst);
+    size_t buffered = 0, max_buffer = 0;
+    for (const Segment* seg : dir->segments) {
+      const size_t n = seg->buffer_count.load(std::memory_order_relaxed);
+      buffered += n;
+      max_buffer = std::max(max_buffer, n);
+    }
+    st.Add("keys", static_cast<double>(size()));
+    st.Add("segments", static_cast<double>(dir->segments.size()));
+    st.Add("error", config_.error);
+    st.Add("buffer_capacity", static_cast<double>(effective_buffer_));
+    st.Add("buffered_entries", static_cast<double>(buffered));
+    st.Add("buffer_max", static_cast<double>(max_buffer));
+    st.Add("buffer_occupancy",
+           dir->segments.empty() || effective_buffer_ == 0
+               ? 0.0
+               : static_cast<double>(buffered) /
+                     (static_cast<double>(dir->segments.size()) *
+                      static_cast<double>(effective_buffer_)));
+    st.Add("merges",
+           static_cast<double>(stats_merges_.load(std::memory_order_relaxed)));
+    st.Add("segments_created", static_cast<double>(stats_created_.load(
+                                   std::memory_order_relaxed)));
+    st.Add("segments_retired", static_cast<double>(stats_retired_.load(
+                                   std::memory_order_relaxed)));
+    st.Add("insert_retries", static_cast<double>(stats_retries_.load(
+                                 std::memory_order_relaxed)));
+    st.Add("epoch_pending", static_cast<double>(epoch_.PendingCount()));
+    st.Add("epoch_retired", static_cast<double>(epoch_.retired_count()));
+    st.Add("epoch_freed", static_cast<double>(epoch_.freed_count()));
+    st.Add("merge_queue",
+           static_cast<double>(worker_.enqueued() - worker_.processed()));
+    st.Add("background_merge", config_.background_merge ? 1.0 : 0.0);
+    return st;
   }
 
   const ConcurrentFitingTreeConfig& config() const { return config_; }
@@ -587,13 +645,21 @@ class ConcurrentFitingTree {
   //      removed entirely when the merge deleted every key — then retire
   //      the old directory and old segment through the epoch manager.
   void MergeSegment(Segment* seg) {
+    // Always-timed (merges are rare, long, and the histogram should see
+    // every one); cancelled on the early-outs below, which are not merges.
+    telemetry::ScopedDuration telem(telemetry::Engine::kConcurrent,
+                                    telemetry::Op::kMerge);
     std::vector<K> merged;
     std::vector<V> merged_values;
     {
       SegLatch::Scoped lock(seg->latch);
-      if (seg->retired.load(std::memory_order_relaxed)) return;
+      if (seg->retired.load(std::memory_order_relaxed)) {
+        telem.Cancel();
+        return;
+      }
       if (seg->buffer.empty()) {
         seg->merge_pending.store(false, std::memory_order_release);
+        telem.Cancel();
         return;
       }
       seg->retired.store(true, std::memory_order_release);

@@ -27,6 +27,8 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/registry.h"
+
 namespace fitree {
 
 class EpochManager {
@@ -91,6 +93,10 @@ class EpochManager {
       retired_.push_back({epoch, p, deleter});
     }
     retired_count_.fetch_add(1, std::memory_order_relaxed);
+    // Process-wide retire accounting: gauges are delta-driven, so every
+    // manager instance folds into one aggregate pending level.
+    telemetry::CounterAdd(telemetry::CounterId::kEpochRetired);
+    telemetry::GaugeAdd(telemetry::GaugeId::kEpochPending, 1);
     TryReclaim();
   }
 
@@ -117,6 +123,12 @@ class EpochManager {
     // not serialize against concurrent Retire() calls.
     for (const Retired& r : eligible) r.deleter(r.p);
     freed_count_.fetch_add(eligible.size(), std::memory_order_relaxed);
+    if (!eligible.empty()) {
+      telemetry::CounterAdd(telemetry::CounterId::kEpochFreed,
+                            eligible.size());
+      telemetry::GaugeAdd(telemetry::GaugeId::kEpochPending,
+                          -static_cast<int64_t>(eligible.size()));
+    }
     return eligible.size();
   }
 

@@ -22,6 +22,8 @@
 #include <thread>
 #include <utility>
 
+#include "telemetry/registry.h"
+
 namespace fitree {
 
 class MergeWorker {
@@ -54,6 +56,10 @@ class MergeWorker {
       queue_.push_back(item);
     }
     enqueued_.fetch_add(1, std::memory_order_relaxed);
+    // Queue depth is a process-wide gauge: +1 here, -1 when handled, so
+    // several workers fold into one backlog level.
+    telemetry::CounterAdd(telemetry::CounterId::kMergesEnqueued);
+    telemetry::GaugeAdd(telemetry::GaugeId::kMergeQueueDepth, 1);
     cv_.notify_one();
   }
 
@@ -100,6 +106,8 @@ class MergeWorker {
       }
       handler_(item);
       processed_.fetch_add(1, std::memory_order_relaxed);
+      telemetry::CounterAdd(telemetry::CounterId::kMergesProcessed);
+      telemetry::GaugeAdd(telemetry::GaugeId::kMergeQueueDepth, -1);
       {
         std::lock_guard<std::mutex> lock(mu_);
         in_flight_ = false;

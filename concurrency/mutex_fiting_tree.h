@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/fiting_tree.h"
+#include "telemetry/structural.h"
 
 namespace fitree {
 
@@ -81,6 +82,13 @@ class MutexFitingTree {
   size_t SegmentCount() const {
     std::lock_guard<std::mutex> lock(mu_);
     return tree_->SegmentCount();
+  }
+
+  // Delegates to the wrapped tree; this baseline's registry traffic lands
+  // under the buffered engine for the same reason.
+  telemetry::StructuralStats Stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tree_->Stats();
   }
 
  private:

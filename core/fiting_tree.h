@@ -41,6 +41,8 @@
 #include "core/flat_directory.h"
 #include "core/search_policy.h"
 #include "core/shrinking_cone.h"
+#include "telemetry/registry.h"
+#include "telemetry/structural.h"
 
 namespace fitree {
 
@@ -141,6 +143,8 @@ class FitingTree {
   // override the page: a tombstone hides the paged key until the next merge
   // physically drops it.
   std::optional<V> Lookup(const K& key) const {
+    telemetry::ScopedOp telem(telemetry::Engine::kBuffered,
+                              telemetry::Op::kLookup);
     const SegmentData* seg = LocateSegment(key);
     if (seg == nullptr) return std::nullopt;
     // Start the page lines travelling while the buffer probe runs.
@@ -163,6 +167,9 @@ class FitingTree {
   // vs. searching the segment page/buffer (Figure 13's breakdown).
   bool ContainsWithBreakdown(const K& key, int64_t* tree_ns,
                              int64_t* page_ns) const {
+    // Count-only: this path already times itself at finer grain, and a
+    // sampled ScopedOp timer would perturb the breakdown it measures.
+    telemetry::CountOp(telemetry::Engine::kBuffered, telemetry::Op::kLookup);
     Timer timer;
     const SegmentData* seg = LocateSegment(key);
     if (seg != nullptr) PrefetchPredicted(*seg, key);
@@ -185,6 +192,8 @@ class FitingTree {
   // lands in its floor segment's buffer; a full buffer triggers
   // merge-and-resegment.
   bool Insert(const K& key, const V& value = V{}) {
+    telemetry::ScopedOp telem(telemetry::Engine::kBuffered,
+                              telemetry::Op::kInsert);
     ++stats_.inserts;
     SegmentData* seg = LocateSegmentMutable(key);
     if (seg == nullptr) {
@@ -228,6 +237,8 @@ class FitingTree {
 
   // Replaces the payload of a present key. Returns false when absent.
   bool Update(const K& key, const V& value) {
+    telemetry::ScopedOp telem(telemetry::Engine::kBuffered,
+                              telemetry::Op::kUpdate);
     SegmentData* seg = LocateSegmentMutable(key);
     if (seg == nullptr) return false;
     auto pos = BufferPos(*seg, key);
@@ -249,6 +260,8 @@ class FitingTree {
   // outright. Tombstones count against the buffer budget, so delete-heavy
   // traffic triggers merges just like insert-heavy traffic.
   bool Delete(const K& key) {
+    telemetry::ScopedOp telem(telemetry::Engine::kBuffered,
+                              telemetry::Op::kDelete);
     SegmentData* seg = LocateSegmentMutable(key);
     if (seg == nullptr) return false;
     auto pos = BufferPos(*seg, key);
@@ -272,6 +285,8 @@ class FitingTree {
   // (tombstoned keys are skipped).
   template <typename Fn>
   void ScanRange(const K& lo, const K& hi, Fn fn) const {
+    telemetry::ScopedOp telem(telemetry::Engine::kBuffered,
+                              telemetry::Op::kScan);
     if (live_segments_ == 0 || hi < lo) return;
     K start_key{};
     if (directory_.FindFloor(lo, &start_key) == nullptr) {
@@ -298,6 +313,36 @@ class FitingTree {
   int TreeHeight() const { return directory_.Height(); }
   const FitingTreeStats& stats() const { return stats_; }
   const FitingTreeConfig& config() const { return config_; }
+
+  // Structural snapshot (telemetry tentpole): segment shape plus pending
+  // delta-buffer occupancy against the per-segment budget, and the
+  // lifetime merge counters this instance has accrued.
+  telemetry::StructuralStats Stats() const {
+    telemetry::StructuralStats st;
+    st.engine = telemetry::EngineName(telemetry::Engine::kBuffered);
+    st.Add("keys", static_cast<double>(size_));
+    st.Add("segments", static_cast<double>(live_segments_));
+    st.Add("error", config_.error);
+    st.Add("buffer_capacity", static_cast<double>(effective_buffer_));
+    size_t buffered = 0, max_buffer = 0;
+    for (const auto& seg : segments_) {
+      buffered += seg->buffer.size();
+      max_buffer = std::max(max_buffer, seg->buffer.size());
+    }
+    st.Add("buffered_entries", static_cast<double>(buffered));
+    st.Add("buffer_max", static_cast<double>(max_buffer));
+    st.Add("buffer_occupancy",
+           live_segments_ == 0 || effective_buffer_ == 0
+               ? 0.0
+               : static_cast<double>(buffered) /
+                     (static_cast<double>(live_segments_) *
+                      static_cast<double>(effective_buffer_)));
+    st.Add("merges", static_cast<double>(stats_.segment_merges));
+    st.Add("segments_created", static_cast<double>(stats_.segments_created));
+    st.Add("segments_retired", static_cast<double>(stats_.segments_retired));
+    st.Add("index_bytes", static_cast<double>(IndexSizeBytes()));
+    return st;
+  }
 
  private:
   static constexpr size_t kNotFound = static_cast<size_t>(-1);
@@ -459,6 +504,10 @@ class FitingTree {
   // shrinking cone, replacing one directory entry with possibly several
   // (paper Sec 4.2.2). A merge that leaves no keys retires the segment.
   void MergeSegment(SegmentData* seg) {
+    // Merges are rare and long: always timed (no sampling), so the merge
+    // histogram sees every event.
+    telemetry::ScopedDuration telem(telemetry::Engine::kBuffered,
+                                    telemetry::Op::kMerge);
     ++stats_.segment_merges;
     std::vector<K> merged;
     std::vector<V> merged_values;

@@ -28,6 +28,8 @@
 #include "core/flat_directory.h"
 #include "core/search_policy.h"
 #include "core/shrinking_cone.h"
+#include "telemetry/registry.h"
+#include "telemetry/structural.h"
 
 namespace fitree {
 
@@ -136,8 +138,11 @@ class StaticFitingTree {
   }
 
   // Calls fn(key) or fn(key, value) for every key in [lo, hi] ascending.
+  // Counts one static/scan (plus the static/lookup its descent performs).
   template <typename Fn>
   void ScanRange(const K& lo, const K& hi, Fn fn) const {
+    telemetry::ScopedOp telem(telemetry::Engine::kStatic,
+                              telemetry::Op::kScan);
     for (size_t i = LowerBound(lo); i < data_.size() && data_[i] <= hi; ++i) {
       if constexpr (std::is_invocable_v<Fn&, const K&, const uint64_t&>) {
         fn(data_[i],
@@ -167,6 +172,35 @@ class StaticFitingTree {
     return packed;
   }
 
+  // Structural snapshot (telemetry tentpole): the shape of the bulk-loaded
+  // structure — segment count and length distribution, directory mode and
+  // footprint — as one uniform record (see telemetry/structural.h).
+  telemetry::StructuralStats Stats() const {
+    telemetry::StructuralStats st;
+    st.engine = telemetry::EngineName(telemetry::Engine::kStatic);
+    st.Add("keys", static_cast<double>(data_.size()));
+    st.Add("segments", static_cast<double>(segments_.size()));
+    st.Add("error", error_);
+    size_t min_len = 0, max_len = 0;
+    if (!segments_.empty()) {
+      min_len = max_len = segments_[0].length;
+      for (const auto& s : segments_) {
+        min_len = std::min(min_len, s.length);
+        max_len = std::max(max_len, s.length);
+      }
+    }
+    st.Add("segment_len_min", static_cast<double>(min_len));
+    st.Add("segment_len_mean",
+           segments_.empty() ? 0.0
+                             : static_cast<double>(data_.size()) /
+                                   static_cast<double>(segments_.size()));
+    st.Add("segment_len_max", static_cast<double>(max_len));
+    st.Add("index_bytes", static_cast<double>(IndexSizeBytes()));
+    st.Add("directory_flat",
+           directory_mode_ == DirectoryMode::kFlat ? 1.0 : 0.0);
+    return st;
+  }
+
   size_t SegmentCount() const { return segments_.size(); }
   int TreeHeight() const { return directory_.Height(); }
   double error() const { return error_; }
@@ -179,7 +213,12 @@ class StaticFitingTree {
   static constexpr size_t kSegmentMetaBytes =
       sizeof(K) + 2 * sizeof(double) + sizeof(void*);
 
+  // The single descent choke point: Contains/Find/Lookup/LowerBound all
+  // funnel here, so one ScopedOp counts each descent exactly once
+  // (RangeCount's two bounds count as two).
   size_t Bound(const K& key, bool upper) const {
+    telemetry::ScopedOp telem(telemetry::Engine::kStatic,
+                              telemetry::Op::kLookup);
     if (data_.empty()) return 0;
     size_t id;
     if (directory_mode_ == DirectoryMode::kFlat) {

@@ -18,6 +18,7 @@
 
 #include "common/io_stats.h"
 #include "storage/page.h"
+#include "telemetry/registry.h"
 
 namespace fitree::storage {
 
@@ -64,9 +65,11 @@ class BufferPool {
       ++f.pins;
       f.referenced = true;
       ++stats_.cache_hits;
+      telemetry::CounterAdd(telemetry::CounterId::kIoCacheHits);
       return FrameData(it->second);
     }
     ++stats_.cache_misses;
+    telemetry::CounterAdd(telemetry::CounterId::kIoCacheMisses);
     const size_t victim = PickVictim();
     if (victim == kNoFrame) return nullptr;
     Frame& f = frames_[victim];
@@ -77,6 +80,8 @@ class BufferPool {
     if (!source_->ReadPageInto(page_id, FrameData(victim))) return nullptr;
     ++stats_.pages_read;
     stats_.bytes_read += page_bytes_;
+    telemetry::CounterAdd(telemetry::CounterId::kIoPagesRead);
+    telemetry::CounterAdd(telemetry::CounterId::kIoBytesRead, page_bytes_);
     f.page_id = page_id;
     f.pins = 1;
     f.referenced = true;

@@ -47,6 +47,9 @@
 #include "core/static_fiting_tree.h"
 #include "storage/buffer_pool.h"
 #include "storage/segment_file.h"
+#include "telemetry/registry.h"
+#include "telemetry/structural.h"
+#include "telemetry/trace.h"
 
 namespace fitree::storage {
 
@@ -124,6 +127,8 @@ class DiskFitingTree {
   // supersedes (or precedes) it. One directory descent serves the delta
   // probe and the paged search.
   std::optional<uint64_t> Lookup(const K& key) {
+    telemetry::ScopedOp telem(telemetry::Engine::kDisk,
+                              telemetry::Op::kLookup);
     const size_t floor = FloorSlot(key);
     PrefetchPredictedFrame(floor, key);
     const DeltaMap& delta = deltas_[floor == kNoSlot ? 0 : floor];
@@ -141,6 +146,8 @@ class DiskFitingTree {
   // key was new (set semantics); inserting a key present in the base file
   // or overlay returns false without touching anything.
   bool Insert(const K& key, uint64_t value) {
+    telemetry::ScopedOp telem(telemetry::Engine::kDisk,
+                              telemetry::Op::kInsert);
     DeltaMap& delta = DeltaFor(key);
     const auto it = delta.find(key);
     if (it != delta.end()) {
@@ -160,6 +167,8 @@ class DiskFitingTree {
   // Replaces the payload of a present key (a paged key gets a live
   // override in the overlay). Returns false when absent.
   bool Update(const K& key, uint64_t value) {
+    telemetry::ScopedOp telem(telemetry::Engine::kDisk,
+                              telemetry::Op::kUpdate);
     DeltaMap& delta = DeltaFor(key);
     const auto it = delta.find(key);
     if (it != delta.end()) {
@@ -176,6 +185,8 @@ class DiskFitingTree {
   // Removes `key`. A paged key gets a tombstone (cleared by Compact); an
   // overlay-only key is dropped outright. Returns false when absent.
   bool Delete(const K& key) {
+    telemetry::ScopedOp telem(telemetry::Engine::kDisk,
+                              telemetry::Op::kDelete);
     DeltaMap& delta = DeltaFor(key);
     const auto it = delta.find(key);
     if (it != delta.end()) {
@@ -199,8 +210,12 @@ class DiskFitingTree {
   // Calls fn(key, value) for every live entry in [lo, hi] ascending —
   // paged leaves merged with the delta overlay on the fly — and returns
   // the number emitted. One page fault per touched leaf page.
+  // Counted as a disk/scan (RangeCount and Compact's full sweep therefore
+  // each register one scan — they are real paged scans).
   template <typename Fn>
   size_t ScanRange(const K& lo, const K& hi, Fn fn) {
+    telemetry::ScopedOp telem(telemetry::Engine::kDisk,
+                              telemetry::Op::kScan);
     if (hi < lo) return 0;
     DeltaCursor cursor = DeltaCursorAt(lo);
     size_t emitted = 0;
@@ -253,6 +268,13 @@ class DiskFitingTree {
   // renames it over the original, and reopens. Returns false (leaving the
   // original file and overlay untouched) if the rewrite fails.
   bool Compact() {
+    // Compaction reporting (was a bare count): wall time and pages
+    // rewritten, kept per-instance in both telemetry builds (NowNs and the
+    // accessors below never compile out) and mirrored into the registry's
+    // disk/compact histogram + pages-rewritten counter. Timed by hand
+    // rather than ScopedDuration so the failure paths don't register as
+    // completed compactions.
+    const uint64_t t0 = telemetry::NowNs();
     std::vector<K> keys;
     std::vector<uint64_t> values;
     keys.reserve(size_);
@@ -280,7 +302,58 @@ class DiskFitingTree {
       return false;
     }
     ++compactions_;
+    last_compact_ns_ = telemetry::NowNs() - t0;
+    // Every page of the new file was written by the rewrite (meta +
+    // segment-table + leaves), so the post-reload page count is the
+    // rewritten-page figure.
+    const uint64_t pages = reader_.page_count();
+    compact_pages_rewritten_ += pages;
+    telemetry::CountOp(telemetry::Engine::kDisk, telemetry::Op::kCompact);
+    telemetry::RecordDuration(telemetry::Engine::kDisk,
+                              telemetry::Op::kCompact, last_compact_ns_);
+    telemetry::CounterAdd(telemetry::CounterId::kCompactPagesRewritten,
+                          pages);
+    telemetry::trace::Emit(telemetry::Engine::kDisk, telemetry::Op::kCompact,
+                           last_compact_ns_);
     return true;
+  }
+
+  // Duration of the most recent successful Compact() (0 before the first),
+  // and the cumulative pages written by all of this instance's compactions.
+  uint64_t LastCompactNs() const { return last_compact_ns_; }
+  uint64_t CompactPagesRewritten() const { return compact_pages_rewritten_; }
+
+  // Structural snapshot (telemetry tentpole): base/overlay occupancy,
+  // segment shape, compaction history, and this instance's buffer-pool I/O
+  // picture (hit rate included — the registry's io.* counters aggregate
+  // across pools, this is the per-instance view).
+  telemetry::StructuralStats Stats() const {
+    telemetry::StructuralStats st;
+    st.engine = telemetry::EngineName(telemetry::Engine::kDisk);
+    st.Add("keys", static_cast<double>(size_));
+    st.Add("base_keys", static_cast<double>(base_size()));
+    st.Add("segments", static_cast<double>(segments_.size()));
+    st.Add("error", error());
+    st.Add("delta_entries", static_cast<double>(delta_entries_));
+    st.Add("delta_fraction",
+           size_ == 0 ? 0.0
+                      : static_cast<double>(delta_entries_) /
+                            static_cast<double>(size_));
+    st.Add("leaf_pages", static_cast<double>(LeafPageCount()));
+    st.Add("file_bytes", static_cast<double>(FileBytes()));
+    st.Add("cache_frames", static_cast<double>(pool_->frame_count()));
+    st.Add("cache_bytes", static_cast<double>(pool_->CapacityBytes()));
+    const IoStats& io_stats = pool_->stats();
+    st.Add("io_hits", static_cast<double>(io_stats.cache_hits));
+    st.Add("io_misses", static_cast<double>(io_stats.cache_misses));
+    st.Add("io_pages_read", static_cast<double>(io_stats.pages_read));
+    st.Add("io_hit_rate", io_stats.HitRate());
+    st.Add("compactions", static_cast<double>(compactions_));
+    st.Add("last_compact_ns", static_cast<double>(last_compact_ns_));
+    st.Add("compact_pages_rewritten",
+           static_cast<double>(compact_pages_rewritten_));
+    st.Add("io_error", io_error_ ? 1.0 : 0.0);
+    return st;
   }
 
  private:
@@ -510,6 +583,8 @@ class DiskFitingTree {
   size_t delta_entries_ = 0;      // live + tombstone entries across slots
   size_t size_ = 0;               // live keys: base + inserts - deletes
   uint64_t compactions_ = 0;
+  uint64_t last_compact_ns_ = 0;          // most recent Compact() duration
+  uint64_t compact_pages_rewritten_ = 0;  // cumulative across compactions
   bool io_error_ = false;
 };
 

@@ -1,0 +1,158 @@
+// Log-bucketed (HDR-style) latency histogram with mergeable snapshots.
+//
+// Values are nanoseconds. The bucket layout is the classic
+// exponent-plus-sub-bucket scheme: values below 16 get exact unit buckets;
+// above that, each power-of-two range splits into 16 sub-buckets, so a
+// bucket's width is at most value/16 — every recorded value is reproduced
+// to within 6.25% relative error by its bucket's upper bound. Percentiles
+// use the exact nearest-rank rule over the recorded counts (rank
+// ceil(p/100 * N)), so the only approximation is that in-bucket
+// resolution, which tests/test_telemetry.cc pins against a sorted-sample
+// oracle: oracle_p <= hist_p <= oracle_p + oracle_p/16 + 1.
+//
+// Record() is one relaxed fetch_add on the bucket counter — TSan-clean and
+// cheap enough for the sampled op timers (registry.h samples 1-in-N ops,
+// so cross-thread contention on a hot bucket is rare by construction).
+// Snapshots are plain value types: they add (Merge) for cross-histogram
+// aggregation and subtract (DeltaSince) for interval measurements, both
+// exact because buckets are simple sums.
+
+#ifndef FITREE_TELEMETRY_HISTOGRAM_H_
+#define FITREE_TELEMETRY_HISTOGRAM_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fitree::telemetry {
+
+namespace hdr {
+
+inline constexpr int kSubBits = 4;
+inline constexpr size_t kSubBuckets = size_t{1} << kSubBits;  // 16
+// Groups: 0 (exact units 0..15) plus one per msb position 4..63.
+inline constexpr size_t kNumBuckets = (64 - kSubBits + 1) * kSubBuckets;
+
+// Index of the bucket containing `v`. Monotone in v.
+inline constexpr size_t BucketIndex(uint64_t v) {
+  if (v < kSubBuckets) return static_cast<size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const size_t group = static_cast<size_t>(msb - kSubBits + 1);
+  const size_t sub = (v >> (msb - kSubBits)) & (kSubBuckets - 1);
+  return group * kSubBuckets + sub;
+}
+
+// Largest value mapping to bucket `index` — the representative returned by
+// percentile queries (always >= every value in the bucket, and within
+// value/16 of it).
+inline constexpr uint64_t BucketUpper(size_t index) {
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);
+  const size_t group = index / kSubBuckets;
+  const size_t sub = index % kSubBuckets;
+  const int shift = static_cast<int>(group) - 1;
+  const uint64_t lower = (kSubBuckets + sub) << shift;
+  return lower + ((uint64_t{1} << shift) - 1);
+}
+
+}  // namespace hdr
+
+// Value-type snapshot of a histogram: bucket counts plus the derived
+// total. Mergeable (Merge), subtractable (DeltaSince), and queryable for
+// exact nearest-rank percentiles over the bucketed counts.
+struct HistogramSnapshot {
+  std::vector<uint64_t> counts;  // empty == all-zero (never recorded)
+  uint64_t total = 0;
+
+  bool empty() const { return total == 0; }
+
+  void Merge(const HistogramSnapshot& other) {
+    if (other.counts.empty()) return;
+    if (counts.empty()) counts.assign(hdr::kNumBuckets, 0);
+    for (size_t i = 0; i < hdr::kNumBuckets; ++i) counts[i] += other.counts[i];
+    total += other.total;
+  }
+
+  // This snapshot minus an earlier one of the same histogram (bucket
+  // counts are monotone, so the subtraction is well-defined).
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& before) const {
+    HistogramSnapshot delta;
+    if (counts.empty()) return delta;
+    delta.counts.assign(hdr::kNumBuckets, 0);
+    for (size_t i = 0; i < hdr::kNumBuckets; ++i) {
+      const uint64_t b = before.counts.empty() ? 0 : before.counts[i];
+      delta.counts[i] = counts[i] - b;
+      delta.total += delta.counts[i];
+    }
+    return delta;
+  }
+
+  // Nearest-rank percentile (p in [0, 100]): the representative value of
+  // the bucket holding the ceil(p/100 * total)-th smallest sample. 0 when
+  // empty.
+  uint64_t PercentileNs(double p) const {
+    if (total == 0) return 0;
+    uint64_t rank =
+        static_cast<uint64_t>(p / 100.0 * static_cast<double>(total) + 0.9999);
+    if (rank < 1) rank = 1;
+    if (rank > total) rank = total;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      seen += counts[i];
+      if (seen >= rank) return hdr::BucketUpper(i);
+    }
+    return hdr::BucketUpper(hdr::kNumBuckets - 1);
+  }
+
+  // Upper bound of the highest non-empty bucket (0 when empty).
+  uint64_t MaxNs() const {
+    for (size_t i = counts.size(); i-- > 0;) {
+      if (counts[i] != 0) return hdr::BucketUpper(i);
+    }
+    return 0;
+  }
+
+  // Bucket-representative mean — same 6.25% in-bucket resolution as the
+  // percentiles.
+  double MeanNs() const {
+    if (total == 0) return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] != 0) {
+        sum += static_cast<double>(counts[i]) *
+               static_cast<double>(hdr::BucketUpper(i));
+      }
+    }
+    return sum / static_cast<double>(total);
+  }
+};
+
+// The live, concurrently-writable histogram. ~7.8 KB of atomic buckets.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(uint64_t ns) {
+    buckets_[hdr::BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    snap.counts.resize(hdr::kNumBuckets);
+    for (size_t i = 0; i < hdr::kNumBuckets; ++i) {
+      snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      snap.total += snap.counts[i];
+    }
+    return snap;
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[hdr::kNumBuckets] = {};
+};
+
+}  // namespace fitree::telemetry
+
+#endif  // FITREE_TELEMETRY_HISTOGRAM_H_

@@ -1,0 +1,262 @@
+// Process-wide telemetry registry and the instrumentation helpers the
+// engines call.
+//
+// One Registry singleton (leaked heap object, Registry::Get) owns a
+// [engine][op] grid of sharded Counters and latency histograms plus the
+// named counters/gauges from metrics.h. Engines never talk to the
+// singleton directly — they use the helpers at the bottom of this file
+// (CountOp / ScopedOp / ScopedDuration / CounterAdd / GaugeAdd), which are
+// the only things stubbed out under -DFITREE_NO_TELEMETRY. That keeps the
+// escape hatch a pure hot-path question: the Registry, snapshot, and
+// metric types stay fully functional in both builds.
+//
+// Cost model (measured in EXPERIMENTS.md "Telemetry"):
+//   - op *counts* are exact: every call does one sharded relaxed
+//     fetch_add (~1-3 ns, no cross-thread line sharing),
+//   - op *latencies* are sampled: a thread_local countdown fires the
+//     clock + histogram record once per FITREE_TELEM_SAMPLE calls
+//     (default 64), amortizing two steady_clock reads to well under a
+//     nanosecond per op,
+//   - merges and compactions (rare, long) are always timed via
+//     ScopedDuration.
+// Sampled ops also emit a trace record when FITREE_TRACE is on, so the
+// trace and the histograms describe the same sample population.
+
+#ifndef FITREE_TELEMETRY_REGISTRY_H_
+#define FITREE_TELEMETRY_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "telemetry/histogram.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace fitree::telemetry {
+
+// Value-type snapshot of the whole registry: mergeable with DeltaSince for
+// interval measurements (the bench harness snapshots before/after a rep).
+struct RegistrySnapshot {
+  struct OpSnapshot {
+    uint64_t count = 0;
+    HistogramSnapshot latency;
+  };
+
+  OpSnapshot ops[kNumEngines][kNumOps];
+  uint64_t counters[kNumCounters] = {};
+  int64_t gauges[kNumGauges] = {};
+
+  const OpSnapshot& op(Engine e, Op o) const {
+    return ops[static_cast<size_t>(e)][static_cast<size_t>(o)];
+  }
+  uint64_t counter(CounterId id) const {
+    return counters[static_cast<size_t>(id)];
+  }
+  int64_t gauge(GaugeId id) const { return gauges[static_cast<size_t>(id)]; }
+
+  // This snapshot minus an earlier one. Counters and histogram buckets are
+  // monotone so the difference is an exact interval measurement; gauges
+  // are levels, and the delta keeps the *later* level (the meaningful
+  // "where did it end up" number for an interval report).
+  RegistrySnapshot DeltaSince(const RegistrySnapshot& before) const {
+    RegistrySnapshot d;
+    for (size_t e = 0; e < kNumEngines; ++e) {
+      for (size_t o = 0; o < kNumOps; ++o) {
+        d.ops[e][o].count = ops[e][o].count - before.ops[e][o].count;
+        d.ops[e][o].latency =
+            ops[e][o].latency.DeltaSince(before.ops[e][o].latency);
+      }
+    }
+    for (size_t i = 0; i < kNumCounters; ++i) {
+      d.counters[i] = counters[i] - before.counters[i];
+    }
+    for (size_t i = 0; i < kNumGauges; ++i) d.gauges[i] = gauges[i];
+    return d;
+  }
+};
+
+// The live registry. ~220 KB of atomics (28 histograms dominate); exactly
+// one process-wide instance behind Get(), but the type is constructible so
+// tests can exercise isolated instances.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // The process-wide instance: a constinit inline global (defined right
+  // below the class), so Get() compiles to a direct address — no
+  // initialization guard, no out-of-line call to act as an inlining
+  // barrier inside instrumented hot loops. The registry is trivially
+  // destructible (all-atomic state), so instrumentation during static
+  // destruction stays safe without leaking a heap object.
+  static Registry& Get();
+
+  Counter& op_count(Engine e, Op o) {
+    return op_counts_[static_cast<size_t>(e)][static_cast<size_t>(o)];
+  }
+  LatencyHistogram& op_latency(Engine e, Op o) {
+    return op_latencies_[static_cast<size_t>(e)][static_cast<size_t>(o)];
+  }
+  Counter& counter(CounterId id) {
+    return counters_[static_cast<size_t>(id)];
+  }
+  Gauge& gauge(GaugeId id) { return gauges_[static_cast<size_t>(id)]; }
+
+  RegistrySnapshot Snapshot() const {
+    RegistrySnapshot snap;
+    for (size_t e = 0; e < kNumEngines; ++e) {
+      for (size_t o = 0; o < kNumOps; ++o) {
+        snap.ops[e][o].count = op_counts_[e][o].Load();
+        snap.ops[e][o].latency = op_latencies_[e][o].Snapshot();
+      }
+    }
+    for (size_t i = 0; i < kNumCounters; ++i) {
+      snap.counters[i] = counters_[i].Load();
+    }
+    for (size_t i = 0; i < kNumGauges; ++i) snap.gauges[i] = gauges_[i].Load();
+    return snap;
+  }
+
+ private:
+  Counter op_counts_[kNumEngines][kNumOps];
+  LatencyHistogram op_latencies_[kNumEngines][kNumOps];
+  Counter counters_[kNumCounters];
+  Gauge gauges_[kNumGauges];
+};
+
+static_assert(std::is_trivially_destructible_v<Registry>,
+              "instrumentation may run during static destruction");
+
+namespace detail {
+// ~220 KB of zero-initialized atomics in .bss.
+inline constinit Registry g_registry;
+}  // namespace detail
+
+inline Registry& Registry::Get() { return detail::g_registry; }
+
+#ifdef FITREE_NO_TELEMETRY
+
+// ---- Escape hatch: every instrumentation helper is a no-op. ----
+
+inline void CountOp(Engine, Op, uint64_t = 1) {}
+inline void CounterAdd(CounterId, uint64_t = 1) {}
+inline void GaugeAdd(GaugeId, int64_t) {}
+inline void RecordDuration(Engine, Op, uint64_t) {}
+inline uint64_t SamplePeriod() { return 0; }
+inline void SetSamplePeriodForTest(uint64_t) {}
+
+class ScopedOp {
+ public:
+  ScopedOp(Engine, Op) {}
+};
+
+class ScopedDuration {
+ public:
+  ScopedDuration(Engine, Op) {}
+  void Cancel() {}
+};
+
+#else  // !FITREE_NO_TELEMETRY
+
+// Exact call count for (engine, op) — the per-op hot-path cost.
+inline void CountOp(Engine e, Op o, uint64_t n = 1) {
+  Registry::Get().op_count(e, o).Add(n);
+}
+
+inline void CounterAdd(CounterId id, uint64_t n = 1) {
+  Registry::Get().counter(id).Add(n);
+}
+
+inline void GaugeAdd(GaugeId id, int64_t delta) {
+  Registry::Get().gauge(id).Add(delta);
+}
+
+// Records an already-measured duration into the (engine, op) histogram.
+inline void RecordDuration(Engine e, Op o, uint64_t ns) {
+  Registry::Get().op_latency(e, o).Record(ns);
+}
+
+// Latency sample period (FITREE_TELEM_SAMPLE, default 64, min 1; cached at
+// first use). Defined in telemetry.cc.
+uint64_t SamplePeriod();
+// Test hook: forces the period (1 == time every op) for deterministic
+// histogram population. Affects threads' countdowns lazily.
+void SetSamplePeriodForTest(uint64_t period);
+
+namespace detail {
+// Per-thread countdown to the next latency sample. Starting at 1 makes a
+// thread's first op sampled, so short tests see nonempty histograms.
+inline bool ShouldSample() {
+  thread_local uint64_t countdown = 1;
+  if (--countdown == 0) {
+    countdown = SamplePeriod();
+    return true;
+  }
+  return false;
+}
+}  // namespace detail
+
+// Counts one (engine, op) call always; on sampled calls also times it into
+// the latency histogram and, when tracing is on, emits a trace record.
+class ScopedOp {
+ public:
+  ScopedOp(Engine e, Op o) : engine_(e), op_(o) {
+    CountOp(e, o);
+    if (detail::ShouldSample()) start_ns_ = NowNs();
+  }
+
+  ScopedOp(const ScopedOp&) = delete;
+  ScopedOp& operator=(const ScopedOp&) = delete;
+
+  ~ScopedOp() {
+    if (start_ns_ == 0) return;
+    const uint64_t elapsed = NowNs() - start_ns_;
+    RecordDuration(engine_, op_, elapsed);
+    trace::Emit(engine_, op_, elapsed);
+  }
+
+ private:
+  Engine engine_;
+  Op op_;
+  uint64_t start_ns_ = 0;  // 0 == not sampled
+};
+
+// Always-timed scope for rare structural work (merge, compact): counts and
+// times every call. Cancel() for early-out paths that shouldn't count as
+// the event having happened (e.g. a merge finding its segment already
+// retired).
+class ScopedDuration {
+ public:
+  ScopedDuration(Engine e, Op o)
+      : engine_(e), op_(o), start_ns_(NowNs()) {}
+
+  ScopedDuration(const ScopedDuration&) = delete;
+  ScopedDuration& operator=(const ScopedDuration&) = delete;
+
+  void Cancel() { cancelled_ = true; }
+
+  // Nanoseconds since construction (for callers that also want the value).
+  uint64_t ElapsedNs() const { return NowNs() - start_ns_; }
+
+  ~ScopedDuration() {
+    if (cancelled_) return;
+    const uint64_t elapsed = NowNs() - start_ns_;
+    CountOp(engine_, op_);
+    RecordDuration(engine_, op_, elapsed);
+    trace::Emit(engine_, op_, elapsed);
+  }
+
+ private:
+  Engine engine_;
+  Op op_;
+  uint64_t start_ns_;
+  bool cancelled_ = false;
+};
+
+#endif  // FITREE_NO_TELEMETRY
+
+}  // namespace fitree::telemetry
+
+#endif  // FITREE_TELEMETRY_REGISTRY_H_

@@ -1,0 +1,160 @@
+// Single-definition home for the telemetry cold paths: the cached
+// sample-period knob and the trace-ring global state (following the
+// common/sink.cc precedent for out-of-line definitions in this
+// header-only library). The Registry singleton itself is a constinit
+// inline global in registry.h so hot-path instrumentation inlines fully.
+
+#include "telemetry/registry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/trace.h"
+
+namespace fitree::telemetry {
+
+#ifndef FITREE_NO_TELEMETRY
+
+namespace {
+
+uint64_t ReadEnvU64(const char* name, uint64_t def, uint64_t min_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return def;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw) return def;
+  return std::max<uint64_t>(static_cast<uint64_t>(v), min_value);
+}
+
+std::atomic<uint64_t> g_sample_period{0};  // 0 == not yet initialised
+
+}  // namespace
+
+uint64_t SamplePeriod() {
+  uint64_t p = g_sample_period.load(std::memory_order_relaxed);
+  if (p == 0) {
+    p = ReadEnvU64("FITREE_TELEM_SAMPLE", 64, 1);
+    g_sample_period.store(p, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+void SetSamplePeriodForTest(uint64_t period) {
+  g_sample_period.store(std::max<uint64_t>(period, 1),
+                        std::memory_order_relaxed);
+}
+
+namespace trace {
+namespace {
+
+// All trace state hangs off one leaked struct so thread-exit during static
+// destruction can't touch a destroyed mutex.
+struct TraceState {
+  std::mutex mu;
+  bool enabled = false;
+  size_t ring_capacity = 4096;
+  uint32_t next_tid = 0;
+  // Rings are owned here (not by the threads) so records survive thread
+  // exit and CollectTrace can walk them all.
+  std::vector<std::unique_ptr<TraceRing>> rings;
+  std::atomic<uint64_t> config_epoch{1};
+};
+
+TraceState& State() {
+  static TraceState* state = [] {
+    auto* s = new TraceState();
+    s->enabled = ReadEnvU64("FITREE_TRACE", 0, 0) != 0;
+    s->ring_capacity =
+        static_cast<size_t>(ReadEnvU64("FITREE_TRACE_RING", 4096, 1));
+    return s;
+  }();
+  return *state;
+}
+
+// Cached fast-path view of "is tracing on". Reloaded per-thread when the
+// config epoch moves (ConfigOverride).
+struct ThreadTraceView {
+  uint64_t epoch = 0;
+  bool enabled = false;
+  TraceRing* ring = nullptr;
+};
+
+TraceRing* RegisterRing() {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.rings.push_back(
+      std::make_unique<TraceRing>(s.ring_capacity, s.next_tid++));
+  return s.rings.back().get();
+}
+
+ThreadTraceView& View() {
+  thread_local ThreadTraceView view;
+  TraceState& s = State();
+  const uint64_t epoch = s.config_epoch.load(std::memory_order_acquire);
+  if (view.epoch != epoch) {
+    view.epoch = epoch;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      view.enabled = s.enabled;
+    }
+    view.ring = nullptr;  // re-register against the current ring list
+  }
+  return view;
+}
+
+}  // namespace
+
+bool Enabled() { return View().enabled; }
+
+void Emit(Engine engine, Op op, uint64_t arg) {
+  ThreadTraceView& view = View();
+  if (!view.enabled) return;
+  if (view.ring == nullptr) view.ring = RegisterRing();
+  view.ring->Emit(engine, op, NowNs(), arg);
+}
+
+TraceDump Collect() {
+  TraceState& s = State();
+  TraceDump dump;
+  std::vector<TraceRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    dump.enabled = s.enabled;
+    for (auto& r : s.rings) rings.push_back(r.get());
+  }
+  dump.threads = rings.size();
+  for (TraceRing* ring : rings) {
+    dump.emitted += ring->emitted();
+    dump.dropped += ring->dropped();
+    auto records = ring->Collect();
+    dump.records.insert(dump.records.end(), records.begin(), records.end());
+  }
+  std::sort(dump.records.begin(), dump.records.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.t_ns < b.t_ns;
+            });
+  return dump;
+}
+
+void ConfigOverride(bool enabled, size_t ring_capacity) {
+  TraceState& s = State();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.enabled = enabled;
+    s.ring_capacity = ring_capacity == 0 ? 1 : ring_capacity;
+    s.rings.clear();
+    s.next_tid = 0;
+  }
+  // Bump after the list is swapped so threads re-resolve their ring.
+  s.config_epoch.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace trace
+
+#endif  // !FITREE_NO_TELEMETRY
+
+}  // namespace fitree::telemetry

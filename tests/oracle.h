@@ -283,10 +283,13 @@ void RunPartitionedCrudThread(Index& index, const CrudOptions& opt,
     } else if (draw < c_lookup) {
       const int64_t k = own_key();
       const auto it = oracle.find(k);
-      const std::optional<uint64_t> expect =
-          it == oracle.end() ? std::nullopt
-                             : std::optional<uint64_t>(it->second);
-      if (index.Lookup(k) != expect) {
+      const bool expect_present = it != oracle.end();
+      // Compared field-wise rather than optional-vs-optional: gcc's
+      // -Wmaybe-uninitialized misfires on the disengaged-payload read
+      // inside optional::operator!= at high inlining depth.
+      const std::optional<uint64_t> got = index.Lookup(k);
+      if (got.has_value() != expect_present ||
+          (expect_present && *got != it->second)) {
         return fail(i, "Lookup(" + std::to_string(k) + ") mismatch");
       }
     } else {

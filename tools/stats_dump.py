@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Pretty-print the telemetry section of a fitree_bench BENCH_results.json.
+
+Renders the process-wide telemetry snapshot captured at the end of a bench
+run (schema in EXPERIMENTS.md, "Telemetry"): the per-(engine, op) count +
+sampled-latency grid, the named counters and gauges, and — when the run had
+FITREE_TRACE=1 — a summary of the merged trace ring dump (per-thread and
+per-op breakdowns, plus the first/last records with --trace).
+
+Exit status: 0 on success, 2 on malformed input (missing file, invalid
+JSON, or a document without a "telemetry" member) — CI uses this as a
+smoke check that the exporter and this parser agree on the schema.
+
+Typical use:
+
+  tools/stats_dump.py BENCH_results.json
+  tools/stats_dump.py BENCH_results.json --trace --trace-limit 20
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(message):
+    print(f"stats_dump: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_telemetry(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        die(f"{path}: top-level JSON value is not an object")
+    telemetry = doc.get("telemetry")
+    if not isinstance(telemetry, dict) or "enabled" not in telemetry:
+        die(f"{path}: no telemetry section (document predates the "
+            "telemetry exporter, or the schema changed)")
+    return telemetry
+
+
+def fmt_count(n):
+    return f"{n:,}"
+
+
+def render_table(rows, header):
+    """Column-aligned plain-text table (same style as fitree_bench)."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def print_ops(telemetry):
+    ops = telemetry.get("ops", [])
+    if not isinstance(ops, list):
+        die('"ops" is not an array')
+    print(f"== per-(engine, op) latency grid "
+          f"(sample_period={telemetry.get('sample_period', '?')}) ==")
+    if not ops:
+        print("(no operations recorded)")
+        return
+    rows = []
+    for cell in ops:
+        if not isinstance(cell, dict):
+            die('"ops" entry is not an object')
+        for key in ("engine", "op", "count", "samples"):
+            if key not in cell:
+                die(f'"ops" entry missing "{key}"')
+        timed = cell["samples"] > 0
+        rows.append([
+            str(cell["engine"]),
+            str(cell["op"]),
+            fmt_count(cell["count"]),
+            fmt_count(cell["samples"]),
+            fmt_count(cell["p50_ns"]) if timed else "-",
+            fmt_count(cell["p99_ns"]) if timed else "-",
+            fmt_count(cell["p999_ns"]) if timed else "-",
+            fmt_count(cell["max_ns"]) if timed else "-",
+            f"{cell['mean_ns']:.1f}" if timed else "-",
+        ])
+    print(render_table(rows, ["engine", "op", "count", "samples", "p50_ns",
+                              "p99_ns", "p999_ns", "max_ns", "mean_ns"]))
+
+
+def print_scalars(telemetry):
+    for section in ("counters", "gauges"):
+        values = telemetry.get(section, {})
+        if not isinstance(values, dict):
+            die(f'"{section}" is not an object')
+        print(f"\n== {section} ==")
+        if not values:
+            print("(none)")
+            continue
+        width = max(len(name) for name in values)
+        for name, value in values.items():
+            print(f"{name.ljust(width)}  {fmt_count(value)}")
+
+
+def print_trace(telemetry, show_records, record_limit):
+    trace = telemetry.get("trace")
+    if not isinstance(trace, dict):
+        die('"trace" is missing or not an object')
+    print("\n== trace ==")
+    if not trace.get("enabled"):
+        print("tracing was off (set FITREE_TRACE=1 to capture)")
+        return
+    records = trace.get("records", [])
+    if not isinstance(records, list):
+        die('"trace.records" is not an array')
+    print(f"threads={trace.get('threads', 0)} "
+          f"emitted={fmt_count(trace.get('emitted', 0))} "
+          f"dropped={fmt_count(trace.get('dropped', 0))} "
+          f"retained={fmt_count(len(records))}")
+
+    by_op = {}
+    for record in records:
+        if not isinstance(record, dict) or "op" not in record:
+            die("trace record missing \"op\"")
+        key = (record.get("engine", "?"), record["op"])
+        by_op[key] = by_op.get(key, 0) + 1
+    if by_op:
+        print("retained records by (engine, op):")
+        for (engine, op), n in sorted(by_op.items()):
+            print(f"  {engine}/{op}: {fmt_count(n)}")
+
+    if show_records and records:
+        shown = records[:record_limit]
+        rows = [[fmt_count(r.get("t_ns", 0)), str(r.get("tid", "?")),
+                 str(r.get("engine", "?")), str(r.get("op", "?")),
+                 fmt_count(r.get("arg_ns", 0))] for r in shown]
+        print(f"first {len(shown)} record(s):")
+        print(render_table(rows, ["t_ns", "tid", "engine", "op", "arg_ns"]))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="pretty-print BENCH_results.json telemetry")
+    parser.add_argument("results", help="path to BENCH_results.json")
+    parser.add_argument("--trace", action="store_true",
+                        help="also print individual trace records")
+    parser.add_argument("--trace-limit", type=int, default=10,
+                        help="max trace records to print (default 10)")
+    args = parser.parse_args()
+
+    telemetry = load_telemetry(args.results)
+    if not telemetry["enabled"]:
+        print("telemetry disabled (built with -DFITREE_NO_TELEMETRY=ON)")
+        return
+    print_ops(telemetry)
+    print_scalars(telemetry)
+    print_trace(telemetry, args.trace, max(0, args.trace_limit))
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:
+        # Output piped into head/less that exited early — not an error.
+        sys.exit(0)
