@@ -14,12 +14,29 @@
 #include <thread>
 
 #include "common/table_printer.h"
+#include "telemetry/perf_counters.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 
 extern "C" char** environ;
 
 namespace fitree::bench {
+
+namespace {
+
+// One process-wide counter group: perf_event_open per measurement window
+// would dominate short cells, and inherit=1 means counters opened here
+// follow into every worker thread the experiments spawn later.
+telemetry::PerfRegion& GlobalPerfRegion() {
+  static telemetry::PerfRegion region;
+  return region;
+}
+
+}  // namespace
+
+void PerfCaptureStart() { GlobalPerfRegion().Start(); }
+
+telemetry::PerfSample PerfCaptureStop() { return GlobalPerfRegion().Stop(); }
 
 bool ResultRecord::operator==(const ResultRecord& other) const {
   if (experiment != other.experiment || params != other.params ||
@@ -243,6 +260,57 @@ Json StatsToJson(const Stats& stats) {
   return j;
 }
 
+namespace {
+
+// The "perf" member every exported record carries: the status string is
+// always present ("ok", "not measured", "disabled (...)", or
+// "unavailable: ..."), counters/derived only when something was counted.
+// Events that never scheduled export as absent, not as 0 — a 0 would read
+// as "this code causes no misses", which is a different claim.
+Json PerfSampleToJson(const telemetry::PerfSample& perf, double ops) {
+  Json j = Json::Object();
+  j.Set("status", Json(perf.status));
+  if (!perf.ok) return j;
+  j.Set("time_enabled_ns", Json(perf.time_enabled_ns));
+  j.Set("time_running_ns", Json(perf.time_running_ns));
+
+  const std::pair<const char*, double> counters[] = {
+      {"cycles", perf.cycles},
+      {"instructions", perf.instructions},
+      {"llc_load_misses", perf.llc_misses},
+      {"branch_misses", perf.branch_misses},
+      {"dtlb_load_misses", perf.dtlb_misses},
+      {"task_clock_ns", perf.task_clock_ns},
+  };
+  Json counter_obj = Json::Object();
+  for (const auto& [name, value] : counters) {
+    if (value >= 0) counter_obj.Set(name, Json(value));
+  }
+  j.Set("counters", std::move(counter_obj));
+
+  Json derived = Json::Object();
+  if (perf.cycles > 0 && perf.instructions >= 0) {
+    derived.Set("ipc", Json(perf.instructions / perf.cycles));
+  }
+  if (ops > 0) {
+    j.Set("estimated_ops", Json(ops));
+    const std::pair<const char*, double> rates[] = {
+        {"cycles_per_op", perf.cycles},
+        {"instructions_per_op", perf.instructions},
+        {"llc_load_misses_per_op", perf.llc_misses},
+        {"branch_misses_per_op", perf.branch_misses},
+        {"dtlb_load_misses_per_op", perf.dtlb_misses},
+    };
+    for (const auto& [name, value] : rates) {
+      if (value >= 0) derived.Set(name, Json(value / ops));
+    }
+  }
+  j.Set("derived", std::move(derived));
+  return j;
+}
+
+}  // namespace
+
 Json ResultRecordToJson(const ResultRecord& record) {
   Json j = Json::Object();
   j.Set("experiment", Json(record.experiment));
@@ -255,6 +323,10 @@ Json ResultRecordToJson(const ResultRecord& record) {
   Json metrics = Json::Object();
   for (const auto& [k, v] : record.metrics) metrics.Set(k, Json(v));
   j.Set("metrics", std::move(metrics));
+  // PMU block (tentpole): ResultRecordFromJson deliberately skips it —
+  // baseline comparison pairs on params + stats + metrics only, so adding
+  // or renaming perf fields can never break the bench_diff CI gate.
+  j.Set("perf", PerfSampleToJson(record.perf, record.perf_ops));
   return j;
 }
 
@@ -430,6 +502,46 @@ Json TelemetryToJson() {
   }
   telem.Set("ops", std::move(ops));
 
+  // Per-(engine, phase) span attribution: counts are SAMPLED span counts
+  // (phases only time inside a sampled op — see telemetry/phase.h) and the
+  // latencies are self times, children excluded, so the phases of one op
+  // sum to roughly its inclusive latency. Sparse like the ops grid.
+  Json phases = Json::Array();
+  for (size_t e = 0; e < tm::kNumEngines; ++e) {
+    for (size_t p = 0; p < tm::kNumPhases; ++p) {
+      const auto& cell = snap.phases[e][p];
+      if (cell.count == 0) continue;
+      Json entry = Json::Object();
+      entry.Set("engine", Json(tm::EngineName(static_cast<tm::Engine>(e))));
+      entry.Set("phase", Json(tm::PhaseName(static_cast<tm::Phase>(p))));
+      entry.Set("samples", Json(cell.count));
+      if (!cell.latency.empty()) {
+        entry.Set("p50_ns", Json(cell.latency.PercentileNs(50.0)));
+        entry.Set("p95_ns", Json(cell.latency.PercentileNs(95.0)));
+        entry.Set("p99_ns", Json(cell.latency.PercentileNs(99.0)));
+        entry.Set("max_ns", Json(cell.latency.MaxNs()));
+        entry.Set("mean_ns", Json(cell.latency.MeanNs()));
+      }
+      phases.Push(std::move(entry));
+    }
+  }
+  telem.Set("phases", std::move(phases));
+
+  // Monotonic-to-wallclock anchor: trace t_ns and phase timestamps are
+  // steady-clock ns; wall time of any t_ns is
+  // unix_now_ns - (steady_now_ns - t_ns). Both clocks read back-to-back.
+  {
+    Json anchor = Json::Object();
+    anchor.Set("steady_now_ns", Json(tm::NowNs()));
+    anchor.Set("unix_now_ns",
+               Json(static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count())));
+    anchor.Set("utc", Json(UtcTimestamp()));
+    telem.Set("clock_anchor", std::move(anchor));
+  }
+
   // All named counters and gauges, zero or not: a fixed-shape section is
   // what tools/stats_dump.py and diffing scripts key on.
   Json counters = Json::Object();
@@ -463,6 +575,12 @@ Json TelemetryToJson() {
       rec.Set("engine",
               Json(tm::EngineName(static_cast<tm::Engine>(r.engine))));
       rec.Set("op", Json(tm::OpName(static_cast<tm::Op>(r.op))));
+      // phase == 0 marks an op-level record; phase-tagged records carry
+      // the span's name (index is 1 + Phase, see TraceRecord).
+      if (r.phase != 0) {
+        rec.Set("phase",
+                Json(tm::PhaseName(static_cast<tm::Phase>(r.phase - 1))));
+      }
       rec.Set("arg_ns", Json(r.arg));
       records.Push(std::move(rec));
     }

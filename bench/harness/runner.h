@@ -29,20 +29,34 @@
 #include "common/env.h"
 #include "common/sink.h"
 #include "common/timer.h"
+#include "telemetry/perf_counters.h"
 #include "workloads/workloads.h"
 
 namespace fitree::bench {
 
 // One measured (or analytic) cell: the experiment it belongs to, the full
 // parameter point, ns/op statistics across repetitions, and extra metrics.
+// `perf` carries the hardware-counter deltas captured around the timed
+// repetitions (status "not measured" for analytic records) and `perf_ops`
+// the estimated operation count inside that window, for per-op rates.
+// Neither participates in operator== — equality is the bench_diff pairing
+// notion, and PMU readings are never reproducible across runs.
 struct ResultRecord {
   std::string experiment;
   std::vector<std::pair<std::string, std::string>> params;
   Stats ns_per_op;
   std::vector<std::pair<std::string, double>> metrics;
+  telemetry::PerfSample perf;
+  double perf_ops = 0.0;
 
   bool operator==(const ResultRecord& other) const;
 };
+
+// Process-wide PerfRegion shared by every Runner: opened once (fd setup is
+// not free), started/stopped around each CollectReps measurement window.
+// Defined in runner.cc.
+void PerfCaptureStart();
+telemetry::PerfSample PerfCaptureStop();
 
 class Runner {
  public:
@@ -63,16 +77,40 @@ class Runner {
     if (warmup && reps_ > 1) (void)rep_fn();
     std::vector<double> samples;
     samples.reserve(static_cast<size_t>(reps_));
-    for (int r = 0; r < reps_; ++r) samples.push_back(rep_fn());
+    // PMU counters bracket the timed repetitions (warmup excluded). The
+    // operation count inside the window is reconstructed from each rep's
+    // wall time divided by its reported ns/op — rep_fn only returns the
+    // ratio, but wall/ratio recovers ops well enough for per-op rates.
+    double est_ops = 0.0;
+    PerfCaptureStart();
+    for (int r = 0; r < reps_; ++r) {
+      Timer rep_timer;
+      const double ns_op = rep_fn();
+      const double wall_ns = static_cast<double>(rep_timer.ElapsedNs());
+      if (ns_op > 0.0) est_ops += wall_ns / ns_op;
+      samples.push_back(ns_op);
+    }
+    pending_perf_ = PerfCaptureStop();
+    pending_perf_ops_ = est_ops;
+    has_pending_perf_ = true;
     return Stats::From(samples);
   }
 
-  // Appends one result record for this experiment.
+  // Appends one result record for this experiment. The most recent
+  // CollectReps PMU capture (if any, not yet consumed) rides along;
+  // analytic records reported without a measurement keep the default
+  // "not measured" sample.
   void Report(std::vector<std::pair<std::string, std::string>> params,
               Stats stats,
               std::vector<std::pair<std::string, double>> metrics = {}) {
-    records_.push_back(ResultRecord{experiment_, std::move(params), stats,
-                                    std::move(metrics)});
+    ResultRecord record{experiment_, std::move(params), stats,
+                        std::move(metrics), {}, 0.0};
+    if (has_pending_perf_) {
+      record.perf = pending_perf_;
+      record.perf_ops = pending_perf_ops_;
+      has_pending_perf_ = false;
+    }
+    records_.push_back(std::move(record));
   }
 
   const std::vector<ResultRecord>& records() const { return records_; }
@@ -87,6 +125,9 @@ class Runner {
   std::string experiment_;
   int reps_;
   std::vector<ResultRecord> records_;
+  telemetry::PerfSample pending_perf_;
+  double pending_perf_ops_ = 0.0;
+  bool has_pending_perf_ = false;
 };
 
 // --- measurement loops ----------------------------------------------------

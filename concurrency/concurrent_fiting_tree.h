@@ -61,6 +61,7 @@
 #include "core/flat_directory.h"
 #include "core/search_policy.h"
 #include "core/shrinking_cone.h"
+#include "telemetry/phase.h"
 #include "telemetry/registry.h"
 #include "telemetry/structural.h"
 
@@ -464,6 +465,8 @@ class ConcurrentFitingTree {
     }
 
     Segment* Floor(const K& key) const {
+      telemetry::ScopedPhase phase(telemetry::Engine::kConcurrent,
+                                   telemetry::Phase::kDirectoryDescent);
       return segments.empty() ? nullptr : segments[FloorIndex(key)];
     }
   };
@@ -502,6 +505,8 @@ class ConcurrentFitingTree {
   // the single-threaded and disk-resident lookup paths. Returns the
   // in-page index of `key`, or kNotFound.
   size_t SearchPage(const Segment& seg, const K& key) const {
+    telemetry::ScopedPhase phase(telemetry::Engine::kConcurrent,
+                                 telemetry::Phase::kWindowSearch);
     const size_t n = seg.keys.size();
     if (n == 0) return kNotFound;
     const double pred = seg.Predict(key);
@@ -534,6 +539,8 @@ class ConcurrentFitingTree {
   // true and copies the entry out when `key` has one.
   bool SearchBuffer(const Segment& seg, const K& key,
                     BufferEntry* out) const {
+    telemetry::ScopedPhase phase(telemetry::Engine::kConcurrent,
+                                 telemetry::Phase::kBufferProbe);
     const uint32_t seq = seg.latch.ReadSeq();
     if (seg.buffer_count.load(std::memory_order_acquire) == 0 &&
         seg.latch.Validate(seq)) {
@@ -649,6 +656,8 @@ class ConcurrentFitingTree {
     // every one); cancelled on the early-outs below, which are not merges.
     telemetry::ScopedDuration telem(telemetry::Engine::kConcurrent,
                                     telemetry::Op::kMerge);
+    telemetry::ScopedPhase phase(telemetry::Engine::kConcurrent,
+                                 telemetry::Phase::kMergeResegment);
     std::vector<K> merged;
     std::vector<V> merged_values;
     {

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/phase.h"
 #include "telemetry/registry.h"
 
 namespace fitree {
@@ -104,6 +105,10 @@ class EpochManager {
   // object whose stamp predates all currently announced epochs. Returns the
   // number of objects freed.
   size_t TryReclaim() {
+    // Attributed to the concurrent engine: epoch managers only exist
+    // inside it, and reclamation rides its mutation paths.
+    telemetry::ScopedPhase phase(telemetry::Engine::kConcurrent,
+                                 telemetry::Phase::kEpochReclaim);
     global_epoch_.fetch_add(1, std::memory_order_seq_cst);
     const uint64_t min_active = MinActiveEpoch();
     std::vector<Retired> eligible;

@@ -41,6 +41,7 @@
 #include "core/flat_directory.h"
 #include "core/search_policy.h"
 #include "core/shrinking_cone.h"
+#include "telemetry/phase.h"
 #include "telemetry/registry.h"
 #include "telemetry/structural.h"
 
@@ -410,6 +411,8 @@ class FitingTree {
   }
 
   const SegmentData* LocateSegment(const K& key) const {
+    telemetry::ScopedPhase phase(telemetry::Engine::kBuffered,
+                                 telemetry::Phase::kDirectoryDescent);
     if (config_.directory == DirectoryMode::kFlat) {
       if (flat_dir_.empty()) return nullptr;
       const size_t i = flat_dir_.FloorIndex(key);
@@ -443,6 +446,8 @@ class FitingTree {
   // the same ErrorWindow as the disk-resident and concurrent lookup paths.
   // Returns the in-page index of `key`, or kNotFound.
   size_t SearchSegment(const SegmentData& seg, const K& key) const {
+    telemetry::ScopedPhase phase(telemetry::Engine::kBuffered,
+                                 telemetry::Phase::kWindowSearch);
     const size_t n = seg.keys.size();
     if (n == 0) return kNotFound;
     const double pred = seg.Predict(key);
@@ -463,6 +468,8 @@ class FitingTree {
   }
 
   const BufferEntry* FindBuffer(const SegmentData& seg, const K& key) const {
+    telemetry::ScopedPhase phase(telemetry::Engine::kBuffered,
+                                 telemetry::Phase::kBufferProbe);
     auto pos = std::lower_bound(seg.buffer.begin(), seg.buffer.end(), key,
                                 detail::BufferKeyLess{});
     if (pos == seg.buffer.end() || pos->key != key) return nullptr;
@@ -508,6 +515,8 @@ class FitingTree {
     // histogram sees every event.
     telemetry::ScopedDuration telem(telemetry::Engine::kBuffered,
                                     telemetry::Op::kMerge);
+    telemetry::ScopedPhase phase(telemetry::Engine::kBuffered,
+                                 telemetry::Phase::kMergeResegment);
     ++stats_.segment_merges;
     std::vector<K> merged;
     std::vector<V> merged_values;

@@ -28,6 +28,7 @@
 #include "core/flat_directory.h"
 #include "core/search_policy.h"
 #include "core/shrinking_cone.h"
+#include "telemetry/phase.h"
 #include "telemetry/registry.h"
 #include "telemetry/structural.h"
 
@@ -221,14 +222,22 @@ class StaticFitingTree {
                               telemetry::Op::kLookup);
     if (data_.empty()) return 0;
     size_t id;
-    if (directory_mode_ == DirectoryMode::kFlat) {
-      id = flat_index_.FloorIndex(key);
-      if (id == FlatKeyIndex<K>::kNone) return 0;  // before every indexed key
-    } else {
-      const uint32_t* found = directory_.FindFloor(key);
-      if (found == nullptr) return 0;  // key sorts before every indexed key
-      id = *found;
+    {
+      telemetry::ScopedPhase descent(telemetry::Engine::kStatic,
+                                     telemetry::Phase::kDirectoryDescent);
+      if (directory_mode_ == DirectoryMode::kFlat) {
+        id = flat_index_.FloorIndex(key);
+        if (id == FlatKeyIndex<K>::kNone) {
+          return 0;  // before every indexed key
+        }
+      } else {
+        const uint32_t* found = directory_.FindFloor(key);
+        if (found == nullptr) return 0;  // key sorts before every indexed key
+        id = *found;
+      }
     }
+    telemetry::ScopedPhase search(telemetry::Engine::kStatic,
+                                  telemetry::Phase::kWindowSearch);
     const Segment<K>& seg = segments_[id];
     const size_t seg_end = seg.start + seg.length;
     const double pred = seg.Predict(key);

@@ -18,6 +18,7 @@
 
 #include "common/io_stats.h"
 #include "storage/page.h"
+#include "telemetry/phase.h"
 #include "telemetry/registry.h"
 
 namespace fitree::storage {
@@ -70,6 +71,11 @@ class BufferPool {
     }
     ++stats_.cache_misses;
     telemetry::CounterAdd(telemetry::CounterId::kIoCacheMisses);
+    // Attributed to the disk engine: it is the only BufferPool client, and
+    // the phase grid wants page faults separated from the compute phases
+    // (window search self time stays pure compute this way).
+    telemetry::ScopedPhase phase(telemetry::Engine::kDisk,
+                                 telemetry::Phase::kPageIo);
     const size_t victim = PickVictim();
     if (victim == kNoFrame) return nullptr;
     Frame& f = frames_[victim];

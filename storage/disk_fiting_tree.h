@@ -47,6 +47,7 @@
 #include "core/static_fiting_tree.h"
 #include "storage/buffer_pool.h"
 #include "storage/segment_file.h"
+#include "telemetry/phase.h"
 #include "telemetry/registry.h"
 #include "telemetry/structural.h"
 #include "telemetry/trace.h"
@@ -131,11 +132,15 @@ class DiskFitingTree {
                               telemetry::Op::kLookup);
     const size_t floor = FloorSlot(key);
     PrefetchPredictedFrame(floor, key);
-    const DeltaMap& delta = deltas_[floor == kNoSlot ? 0 : floor];
-    const auto it = delta.find(key);
-    if (it != delta.end()) {
-      if (it->second.tombstone) return std::nullopt;
-      return it->second.value;
+    {
+      telemetry::ScopedPhase probe(telemetry::Engine::kDisk,
+                                   telemetry::Phase::kDeltaProbe);
+      const DeltaMap& delta = deltas_[floor == kNoSlot ? 0 : floor];
+      const auto it = delta.find(key);
+      if (it != delta.end()) {
+        if (it->second.tombstone) return std::nullopt;
+        return it->second.value;
+      }
     }
     return BaseLookupAt(floor, key);
   }
@@ -268,12 +273,16 @@ class DiskFitingTree {
   // renames it over the original, and reopens. Returns false (leaving the
   // original file and overlay untouched) if the rewrite fails.
   bool Compact() {
-    // Compaction reporting (was a bare count): wall time and pages
-    // rewritten, kept per-instance in both telemetry builds (NowNs and the
-    // accessors below never compile out) and mirrored into the registry's
-    // disk/compact histogram + pages-rewritten counter. Timed by hand
-    // rather than ScopedDuration so the failure paths don't register as
-    // completed compactions.
+    // Compaction reporting: the ScopedDuration feeds the registry's
+    // disk/compact count + histogram + trace record, cancelled on the
+    // failure paths so they don't register as completed compactions, and
+    // arms phase spans so the rewrite is attributed under the compact
+    // phase. Wall time is also hand-timed into last_compact_ns_, which
+    // must stay live in both telemetry builds (NowNs never compiles out).
+    telemetry::ScopedDuration telem(telemetry::Engine::kDisk,
+                                    telemetry::Op::kCompact);
+    telemetry::ScopedPhase phase(telemetry::Engine::kDisk,
+                                 telemetry::Phase::kCompact);
     const uint64_t t0 = telemetry::NowNs();
     std::vector<K> keys;
     std::vector<uint64_t> values;
@@ -284,21 +293,27 @@ class DiskFitingTree {
                 keys.push_back(k);
                 values.push_back(v);
               });
-    if (io_error_) return false;
+    if (io_error_) {
+      telem.Cancel();
+      return false;
+    }
     const double err = reader_.meta().error;
     const SegmentFileOptions file_options{reader_.page_bytes()};
     const auto tree = StaticFitingTree<K>::Create(keys, values, err);
     const std::string tmp = path_ + ".compact";
     if (!WriteIndexFile(tmp, *tree, file_options)) {
       std::remove(tmp.c_str());
+      telem.Cancel();
       return false;
     }
     if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
       std::remove(tmp.c_str());
+      telem.Cancel();
       return false;
     }
     if (!Load(path_)) {
       io_error_ = true;
+      telem.Cancel();
       return false;
     }
     ++compactions_;
@@ -308,13 +323,8 @@ class DiskFitingTree {
     // rewritten-page figure.
     const uint64_t pages = reader_.page_count();
     compact_pages_rewritten_ += pages;
-    telemetry::CountOp(telemetry::Engine::kDisk, telemetry::Op::kCompact);
-    telemetry::RecordDuration(telemetry::Engine::kDisk,
-                              telemetry::Op::kCompact, last_compact_ns_);
     telemetry::CounterAdd(telemetry::CounterId::kCompactPagesRewritten,
                           pages);
-    telemetry::trace::Emit(telemetry::Engine::kDisk, telemetry::Op::kCompact,
-                           last_compact_ns_);
     return true;
   }
 
@@ -400,6 +410,8 @@ class DiskFitingTree {
   // Directory floor of `key` in whichever descent form options_ selects,
   // or kNoSlot when `key` sorts before every indexed first key.
   size_t FloorSlot(const K& key) const {
+    telemetry::ScopedPhase phase(telemetry::Engine::kDisk,
+                                 telemetry::Phase::kDirectoryDescent);
     if (options_.directory == DirectoryMode::kFlat) {
       return flat_index_.FloorIndex(key);  // FlatKeyIndex::kNone == kNoSlot
     }
@@ -528,6 +540,10 @@ class DiskFitingTree {
   // a window of w ranks touches at most w / leaf_capacity + 1 pages, and
   // pages before the answer are dismissed by one key comparison each.
   size_t WindowLowerBound(size_t begin, size_t end, const K& key) {
+    // Self time here is pure compute: the page faults this search triggers
+    // are nested page_io spans (buffer_pool.h) and subtract out.
+    telemetry::ScopedPhase phase(telemetry::Engine::kDisk,
+                                 telemetry::Phase::kWindowSearch);
     if (begin >= end) return begin;
     const size_t cap = reader_.meta().leaf_capacity;
     for (uint64_t leaf = begin / cap; leaf <= (end - 1) / cap; ++leaf) {

@@ -31,6 +31,7 @@
 
 #include "telemetry/histogram.h"
 #include "telemetry/metrics.h"
+#include "telemetry/phase.h"
 #include "telemetry/trace.h"
 
 namespace fitree::telemetry {
@@ -44,11 +45,18 @@ struct RegistrySnapshot {
   };
 
   OpSnapshot ops[kNumEngines][kNumOps];
+  // Phase cells reuse OpSnapshot: `count` is the number of *sampled* spans
+  // (phases ride the op sampling countdown, see phase.h), `latency` holds
+  // their self times.
+  OpSnapshot phases[kNumEngines][kNumPhases];
   uint64_t counters[kNumCounters] = {};
   int64_t gauges[kNumGauges] = {};
 
   const OpSnapshot& op(Engine e, Op o) const {
     return ops[static_cast<size_t>(e)][static_cast<size_t>(o)];
+  }
+  const OpSnapshot& phase(Engine e, Phase p) const {
+    return phases[static_cast<size_t>(e)][static_cast<size_t>(p)];
   }
   uint64_t counter(CounterId id) const {
     return counters[static_cast<size_t>(id)];
@@ -67,6 +75,11 @@ struct RegistrySnapshot {
         d.ops[e][o].latency =
             ops[e][o].latency.DeltaSince(before.ops[e][o].latency);
       }
+      for (size_t p = 0; p < kNumPhases; ++p) {
+        d.phases[e][p].count = phases[e][p].count - before.phases[e][p].count;
+        d.phases[e][p].latency =
+            phases[e][p].latency.DeltaSince(before.phases[e][p].latency);
+      }
     }
     for (size_t i = 0; i < kNumCounters; ++i) {
       d.counters[i] = counters[i] - before.counters[i];
@@ -76,9 +89,9 @@ struct RegistrySnapshot {
   }
 };
 
-// The live registry. ~220 KB of atomics (28 histograms dominate); exactly
-// one process-wide instance behind Get(), but the type is constructible so
-// tests can exercise isolated instances.
+// The live registry. ~500 KB of atomics (the 28 op + 32 phase histograms
+// dominate); exactly one process-wide instance behind Get(), but the type
+// is constructible so tests can exercise isolated instances.
 class Registry {
  public:
   Registry() = default;
@@ -99,6 +112,12 @@ class Registry {
   LatencyHistogram& op_latency(Engine e, Op o) {
     return op_latencies_[static_cast<size_t>(e)][static_cast<size_t>(o)];
   }
+  Counter& phase_count(Engine e, Phase p) {
+    return phase_counts_[static_cast<size_t>(e)][static_cast<size_t>(p)];
+  }
+  LatencyHistogram& phase_latency(Engine e, Phase p) {
+    return phase_latencies_[static_cast<size_t>(e)][static_cast<size_t>(p)];
+  }
   Counter& counter(CounterId id) {
     return counters_[static_cast<size_t>(id)];
   }
@@ -111,6 +130,10 @@ class Registry {
         snap.ops[e][o].count = op_counts_[e][o].Load();
         snap.ops[e][o].latency = op_latencies_[e][o].Snapshot();
       }
+      for (size_t p = 0; p < kNumPhases; ++p) {
+        snap.phases[e][p].count = phase_counts_[e][p].Load();
+        snap.phases[e][p].latency = phase_latencies_[e][p].Snapshot();
+      }
     }
     for (size_t i = 0; i < kNumCounters; ++i) {
       snap.counters[i] = counters_[i].Load();
@@ -122,6 +145,8 @@ class Registry {
  private:
   Counter op_counts_[kNumEngines][kNumOps];
   LatencyHistogram op_latencies_[kNumEngines][kNumOps];
+  Counter phase_counts_[kNumEngines][kNumPhases];
+  LatencyHistogram phase_latencies_[kNumEngines][kNumPhases];
   Counter counters_[kNumCounters];
   Gauge gauges_[kNumGauges];
 };
@@ -130,7 +155,7 @@ static_assert(std::is_trivially_destructible_v<Registry>,
               "instrumentation may run during static destruction");
 
 namespace detail {
-// ~220 KB of zero-initialized atomics in .bss.
+// ~500 KB of zero-initialized atomics in .bss.
 inline constinit Registry g_registry;
 }  // namespace detail
 
@@ -199,12 +224,19 @@ inline bool ShouldSample() {
 }  // namespace detail
 
 // Counts one (engine, op) call always; on sampled calls also times it into
-// the latency histogram and, when tracing is on, emits a trace record.
+// the latency histogram, arms phase spans (phase.h) for the op's duration,
+// and, when tracing is on, emits a trace record.
 class ScopedOp {
  public:
   ScopedOp(Engine e, Op o) : engine_(e), op_(o) {
     CountOp(e, o);
-    if (detail::ShouldSample()) start_ns_ = NowNs();
+    if (detail::ShouldSample()) {
+      detail::PhaseContext& ctx = detail::g_phase_ctx;
+      saved_ctx_ = ctx;
+      ctx.timing = true;
+      ctx.op = static_cast<uint8_t>(o);
+      start_ns_ = NowNs();
+    }
   }
 
   ScopedOp(const ScopedOp&) = delete;
@@ -213,6 +245,10 @@ class ScopedOp {
   ~ScopedOp() {
     if (start_ns_ == 0) return;
     const uint64_t elapsed = NowNs() - start_ns_;
+    // Interior spans are balanced by scoping, so restoring the saved
+    // context also restores the enclosing op's innermost-span pointer
+    // (nested-op case: an op issued from inside another sampled op).
+    detail::g_phase_ctx = saved_ctx_;
     RecordDuration(engine_, op_, elapsed);
     trace::Emit(engine_, op_, elapsed);
   }
@@ -221,6 +257,7 @@ class ScopedOp {
   Engine engine_;
   Op op_;
   uint64_t start_ns_ = 0;  // 0 == not sampled
+  detail::PhaseContext saved_ctx_;
 };
 
 // Always-timed scope for rare structural work (merge, compact): counts and
@@ -230,7 +267,13 @@ class ScopedOp {
 class ScopedDuration {
  public:
   ScopedDuration(Engine e, Op o)
-      : engine_(e), op_(o), start_ns_(NowNs()) {}
+      : engine_(e), op_(o) {
+    detail::PhaseContext& ctx = detail::g_phase_ctx;
+    saved_ctx_ = ctx;
+    ctx.timing = true;  // structural work always gets phase attribution
+    ctx.op = static_cast<uint8_t>(o);
+    start_ns_ = NowNs();
+  }
 
   ScopedDuration(const ScopedDuration&) = delete;
   ScopedDuration& operator=(const ScopedDuration&) = delete;
@@ -241,6 +284,7 @@ class ScopedDuration {
   uint64_t ElapsedNs() const { return NowNs() - start_ns_; }
 
   ~ScopedDuration() {
+    detail::g_phase_ctx = saved_ctx_;
     if (cancelled_) return;
     const uint64_t elapsed = NowNs() - start_ns_;
     CountOp(engine_, op_);
@@ -253,6 +297,7 @@ class ScopedDuration {
   Op op_;
   uint64_t start_ns_;
   bool cancelled_ = false;
+  detail::PhaseContext saved_ctx_;
 };
 
 #endif  // FITREE_NO_TELEMETRY

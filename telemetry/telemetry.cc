@@ -48,6 +48,20 @@ void SetSamplePeriodForTest(uint64_t period) {
                         std::memory_order_relaxed);
 }
 
+namespace detail {
+
+// Out-of-line on purpose: this runs once per sampled span (1-in-N ops per
+// phase), so the call costs nothing at op granularity and keeps the
+// ScopedPhase destructor small enough to inline.
+void RecordPhaseSample(Engine engine, Phase phase, Op op, uint64_t self_ns) {
+  Registry& reg = Registry::Get();
+  reg.phase_count(engine, phase).Add(1);
+  reg.phase_latency(engine, phase).Record(self_ns);
+  trace::EmitPhase(engine, op, phase, self_ns);
+}
+
+}  // namespace detail
+
 namespace trace {
 namespace {
 
@@ -115,6 +129,14 @@ void Emit(Engine engine, Op op, uint64_t arg) {
   if (!view.enabled) return;
   if (view.ring == nullptr) view.ring = RegisterRing();
   view.ring->Emit(engine, op, NowNs(), arg);
+}
+
+void EmitPhase(Engine engine, Op op, Phase phase, uint64_t arg) {
+  ThreadTraceView& view = View();
+  if (!view.enabled) return;
+  if (view.ring == nullptr) view.ring = RegisterRing();
+  view.ring->Emit(engine, op, NowNs(), arg,
+                  static_cast<uint16_t>(phase) + 1);
 }
 
 TraceDump Collect() {

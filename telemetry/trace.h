@@ -26,18 +26,21 @@
 #include <vector>
 
 #include "telemetry/metrics.h"
+#include "telemetry/phase.h"
 
 namespace fitree::telemetry {
 
 // One binary trace event. `t_ns` is monotonic nanoseconds since the first
-// telemetry use in the process; `arg` is the op latency for sampled ops
-// and the duration for merges/compactions.
+// telemetry use in the process; `arg` is the op latency for sampled ops,
+// the duration for merges/compactions, and the self time for phase spans.
+// `phase` is 0 for whole-op records, else 1 + the Phase index — the
+// formerly reserved pad bytes, so the record stays 24 bytes.
 struct TraceRecord {
   uint64_t t_ns = 0;
   uint32_t tid = 0;  // thread registration id (dense, process-local)
   uint8_t engine = 0;
   uint8_t op = 0;
-  uint16_t reserved = 0;
+  uint16_t phase = 0;  // 0 == op-level record, else 1 + Phase index
   uint64_t arg = 0;
 };
 static_assert(sizeof(TraceRecord) == 24, "trace records are packed binary");
@@ -53,13 +56,15 @@ class TraceRing {
 
   uint32_t tid() const { return tid_; }
 
-  void Emit(Engine engine, Op op, uint64_t t_ns, uint64_t arg) {
+  void Emit(Engine engine, Op op, uint64_t t_ns, uint64_t arg,
+            uint16_t phase = 0) {
     std::lock_guard<std::mutex> lock(mu_);
     TraceRecord& r = records_[next_];
     r.t_ns = t_ns;
     r.tid = tid_;
     r.engine = static_cast<uint8_t>(engine);
     r.op = static_cast<uint8_t>(op);
+    r.phase = phase;
     r.arg = arg;
     next_ = (next_ + 1) % records_.size();
     ++emitted_;
@@ -113,6 +118,7 @@ struct TraceDump {
 namespace trace {
 inline bool Enabled() { return false; }
 inline void Emit(Engine, Op, uint64_t) {}
+inline void EmitPhase(Engine, Op, Phase, uint64_t) {}
 inline TraceDump Collect() { return {}; }
 inline void ConfigOverride(bool, size_t) {}
 }  // namespace trace
@@ -127,6 +133,9 @@ bool Enabled();
 // Appends one record to the calling thread's ring (registered lazily on
 // first emit). No-op when tracing is disabled.
 void Emit(Engine engine, Op op, uint64_t arg);
+
+// Same, tagged with the phase a span covered; `op` is the enclosing op.
+void EmitPhase(Engine engine, Op op, Phase phase, uint64_t arg);
 
 // Snapshot of every registered ring, merged and time-sorted.
 TraceDump Collect();

@@ -296,5 +296,168 @@ TEST_F(BenchDiffTest, MalformedInputExitsTwo) {
   EXPECT_EQ(RunDiff(path, good, ""), 2);
 }
 
+TEST_F(BenchDiffTest, UnknownRecordFieldsDoNotBreakPairing) {
+  // A current file whose record carries exporter additions bench_diff has
+  // never heard of (perf block, unknown arrays). If pairing ignored the
+  // extras the 4x regression is detected (exit 1); if the extras leaked
+  // into the pairing key the records would not match and the gate would
+  // silently pass.
+  const auto baseline = WriteDoc("base6", 100.0);
+  const std::string current =
+      ::testing::TempDir() + "fitree_diff_extra.json";
+  std::ofstream(current) << R"({
+    "schema_version": 1,
+    "results": [{
+      "experiment": "exp",
+      "params": {"k": "v"},
+      "ns_per_op": {"reps": 3, "min": 400.0, "max": 408.0, "mean": 404.0,
+                    "p50": 404.0, "p99": 408.0, "stddev": 4.0},
+      "metrics": {},
+      "perf": {"status": "ok", "counters": {"cycles": 1e9},
+               "derived": {"ipc": 1.5}},
+      "future_unknown_field": [1, 2, 3]
+    }]
+  })";
+  EXPECT_EQ(RunDiff(baseline, current, "--threshold 1.5"), 1);
+}
+
+// --- perf capture through Runner ------------------------------------------
+
+TEST(Runner, PerfSampleAttachesToNextReportOnly) {
+  Runner runner("exp", 1);
+  const Stats stats = runner.CollectReps([] { return 10.0; });
+  runner.Report({{"k", "v"}}, stats);
+  runner.Report({{"k", "analytic"}}, Stats{});  // no measurement ran
+  ASSERT_EQ(runner.records().size(), 2u);
+  // Whatever the kernel allowed, the measured record carries the capture's
+  // status and an ops estimate (wall / ns-per-op is always > 0 here); the
+  // analytic record keeps the default "not measured" sample.
+  EXPECT_NE(runner.records()[0].perf.status, "not measured");
+  EXPECT_FALSE(runner.records()[0].perf.status.empty());
+  EXPECT_GT(runner.records()[0].perf_ops, 0.0);
+  EXPECT_EQ(runner.records()[1].perf.status, "not measured");
+  EXPECT_EQ(runner.records()[1].perf_ops, 0.0);
+}
+
+TEST(Json, EveryRecordExportsAPerfBlockWithStatus) {
+  ResultRecord record;
+  record.experiment = "exp";
+  const Json j = ResultRecordToJson(record);
+  const Json* perf = j.Find("perf");
+  ASSERT_NE(perf, nullptr);
+  const Json* status = perf->Find("status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->AsString(), "not measured");
+
+  // A live sample exports counters and derived rates; fields that never
+  // counted (negative) stay absent rather than exporting as zero.
+  record.perf.ok = true;
+  record.perf.status = "ok";
+  record.perf.cycles = 3e9;
+  record.perf.instructions = 6e9;
+  record.perf.llc_misses = -1.0;  // never scheduled
+  record.perf_ops = 1e6;
+  const Json live = ResultRecordToJson(record);
+  const Json* live_perf = live.Find("perf");
+  ASSERT_NE(live_perf, nullptr);
+  const Json* counters = live_perf->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->Find("cycles"), nullptr);
+  EXPECT_EQ(counters->Find("llc_load_misses"), nullptr);
+  const Json* derived = live_perf->Find("derived");
+  ASSERT_NE(derived, nullptr);
+  ASSERT_NE(derived->Find("ipc"), nullptr);
+  EXPECT_DOUBLE_EQ(derived->Find("ipc")->AsNumber(), 2.0);
+  ASSERT_NE(derived->Find("cycles_per_op"), nullptr);
+  EXPECT_DOUBLE_EQ(derived->Find("cycles_per_op")->AsNumber(), 3000.0);
+  EXPECT_EQ(derived->Find("llc_load_misses_per_op"), nullptr);
+
+  // And the round-trip importer ignores the block entirely: perf is
+  // telemetry, not identity (bench_diff pairing must stay stable).
+  const auto parsed = ResultRecordFromJson(live);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->perf.status, "not measured");
+}
+
+// --- profile_report.py / stats_dump.py ------------------------------------
+
+class ProfileReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::system("python3 --version > /dev/null 2>&1") != 0) {
+      GTEST_SKIP() << "python3 not available";
+    }
+  }
+
+  // Full results document as fitree_bench writes it (schema_version,
+  // telemetry section included).
+  std::string WriteDoc(const std::string& name) {
+    ResultRecord record;
+    record.experiment = "micro_phase_breakdown";
+    record.params = {{"engine", "static"}, {"mode", "full"}};
+    record.ns_per_op = Stats::From({100.0, 101.0, 102.0});
+    record.metrics = {{"window_search_ns_op", 60.0},
+                      {"window_search_pct", 100.0}};
+    Json env = Json::Object();
+    const Json doc = MakeResultsDocument(env, 3, {record});
+    const std::string path =
+        ::testing::TempDir() + "fitree_profile_" + name + ".json";
+    std::ofstream(path) << doc.Dump(2);
+    return path;
+  }
+
+  int RunTool(const std::string& tool, const std::string& args) {
+    const std::string cmd = "python3 '" FITREE_SOURCE_DIR "/tools/" + tool +
+                            "' " + args + " > /dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+};
+
+TEST_F(ProfileReportTest, RendersARealDocument) {
+  const auto doc = WriteDoc("ok");
+  EXPECT_EQ(RunTool("profile_report.py", "'" + doc + "'"), 0);
+}
+
+TEST_F(ProfileReportTest, WritesFoldedStacks) {
+  const auto doc = WriteDoc("folded");
+  const std::string folded = ::testing::TempDir() + "fitree_stacks.folded";
+  ASSERT_EQ(RunTool("profile_report.py",
+                    "'" + doc + "' --folded '" + folded + "'"),
+            0);
+  std::ifstream in(folded);
+  EXPECT_TRUE(in.good());
+}
+
+TEST_F(ProfileReportTest, SchemaMismatchExitsTwo) {
+  const std::string wrong =
+      ::testing::TempDir() + "fitree_profile_wrong_schema.json";
+  std::ofstream(wrong) << R"({"schema_version": 99, "results": [],
+                             "telemetry": {"enabled": false}})";
+  EXPECT_EQ(RunTool("profile_report.py", "'" + wrong + "'"), 2);
+
+  const std::string bad = ::testing::TempDir() + "fitree_profile_bad.json";
+  std::ofstream(bad) << "not json";
+  EXPECT_EQ(RunTool("profile_report.py", "'" + bad + "'"), 2);
+
+  const std::string no_telem =
+      ::testing::TempDir() + "fitree_profile_no_telem.json";
+  std::ofstream(no_telem) << R"({"schema_version": 1, "results": []})";
+  EXPECT_EQ(RunTool("profile_report.py", "'" + no_telem + "'"), 2);
+}
+
+TEST_F(ProfileReportTest, StatsDumpDeltaMode) {
+  const auto before = WriteDoc("delta_a");
+  const auto after = WriteDoc("delta_b");
+  EXPECT_EQ(RunTool("stats_dump.py",
+                    "--delta '" + before + "' '" + after + "'"),
+            0);
+  // Malformed inputs keep the schema-error contract in delta mode too.
+  const std::string bad = ::testing::TempDir() + "fitree_delta_bad.json";
+  std::ofstream(bad) << "{}";
+  EXPECT_EQ(RunTool("stats_dump.py", "--delta '" + bad + "' '" + after + "'"),
+            2);
+}
+
 }  // namespace
 }  // namespace fitree::bench

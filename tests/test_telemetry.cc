@@ -15,6 +15,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <random>
 #include <string>
 #include <thread>
@@ -28,6 +29,8 @@
 #include "storage/segment_file.h"
 #include "telemetry/histogram.h"
 #include "telemetry/metrics.h"
+#include "telemetry/perf_counters.h"
+#include "telemetry/phase.h"
 #include "telemetry/registry.h"
 #include "telemetry/structural.h"
 #include "telemetry/trace.h"
@@ -388,6 +391,218 @@ TEST(Instrumentation, ScopedDurationCancelSuppressesTheRecord) {
     ScopedDuration timer(Engine::kDisk, Op::kCompact);
   }
   EXPECT_EQ(reg.op_count(Engine::kDisk, Op::kCompact).Load(), before + 1);
+}
+
+// --- phase spans ----------------------------------------------------------
+
+// Busy-wait so span durations are deterministic lower bounds: the loop
+// exits only once the clock has passed `ns`, so a span around it measures
+// at least that much.
+void SpinFor(uint64_t ns) {
+  const uint64_t end = NowNs() + ns;
+  while (NowNs() < end) {
+  }
+}
+
+TEST(Phase, NamesCoverEveryPhaseInBothBuilds) {
+  // Phase and PhaseName stay real under FITREE_NO_TELEMETRY (same
+  // convention as the metric types): exporters and tools compile either
+  // way.
+  for (size_t p = 0; p < kNumPhases; ++p) {
+    EXPECT_NE(PhaseName(static_cast<Phase>(p))[0], '\0');
+  }
+  EXPECT_STREQ(PhaseName(Phase::kDirectoryDescent), "directory_descent");
+  EXPECT_STREQ(PhaseName(Phase::kEpochReclaim), "epoch_reclaim");
+}
+
+TEST(Phase, RegistryStorageSnapshotsAndDeltas) {
+  // Registry phase storage is plain metric plumbing, live in both builds.
+  Registry reg;
+  reg.phase_count(Engine::kDisk, Phase::kPageIo).Add(3);
+  reg.phase_latency(Engine::kDisk, Phase::kPageIo).Record(1000);
+  const RegistrySnapshot before = reg.Snapshot();
+  EXPECT_EQ(before.phase(Engine::kDisk, Phase::kPageIo).count, 3u);
+  reg.phase_count(Engine::kDisk, Phase::kPageIo).Add(2);
+  reg.phase_latency(Engine::kDisk, Phase::kPageIo).Record(2000);
+  const RegistrySnapshot delta = reg.Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.phase(Engine::kDisk, Phase::kPageIo).count, 2u);
+  EXPECT_EQ(delta.phase(Engine::kDisk, Phase::kPageIo).latency.total, 1u);
+  EXPECT_EQ(delta.phase(Engine::kStatic, Phase::kPageIo).count, 0u);
+}
+
+TEST(Phase, SpansShareTheScopedOpSampleCountdown) {
+  if (!kEnabled) GTEST_SKIP() << "built with FITREE_NO_TELEMETRY";
+  auto& reg = Registry::Get();
+  // Flush this thread's countdown to a known state: at period 1 the next
+  // op samples and reloads the countdown to 1.
+  SetSamplePeriodForTest(1);
+  { ScopedOp op(Engine::kStatic, Op::kUpdate); }
+  SetSamplePeriodForTest(4);
+
+  const uint64_t phases_before =
+      reg.phase_count(Engine::kStatic, Phase::kWindowSearch).Load();
+  const uint64_t samples_before =
+      reg.op_latency(Engine::kStatic, Op::kUpdate).Snapshot().total;
+  for (int i = 0; i < 8; ++i) {
+    ScopedOp op(Engine::kStatic, Op::kUpdate);
+    ScopedPhase phase(Engine::kStatic, Phase::kWindowSearch);
+  }
+  // Period 4 over 8 ops: exactly ops 1 and 5 sample — and ONLY their
+  // phases record. One shared countdown, no second decision point.
+  EXPECT_EQ(reg.op_latency(Engine::kStatic, Op::kUpdate).Snapshot().total -
+                samples_before,
+            2u);
+  EXPECT_EQ(reg.phase_count(Engine::kStatic, Phase::kWindowSearch).Load() -
+                phases_before,
+            2u);
+  SetSamplePeriodForTest(64);
+}
+
+TEST(Phase, InertOutsideAnyArmedOperation) {
+  if (!kEnabled) GTEST_SKIP() << "built with FITREE_NO_TELEMETRY";
+  auto& reg = Registry::Get();
+  SetSamplePeriodForTest(1);
+  const uint64_t before =
+      reg.phase_count(Engine::kStatic, Phase::kCompact).Load();
+  // No enclosing ScopedOp/ScopedDuration: the span must not record, no
+  // matter how aggressive the sample period is.
+  { ScopedPhase phase(Engine::kStatic, Phase::kCompact); }
+  EXPECT_EQ(reg.phase_count(Engine::kStatic, Phase::kCompact).Load(), before);
+  SetSamplePeriodForTest(64);
+}
+
+TEST(Phase, NestedSpansRecordSelfTimeChildrenExcluded) {
+  if (!kEnabled) GTEST_SKIP() << "built with FITREE_NO_TELEMETRY";
+  auto& reg = Registry::Get();
+  SetSamplePeriodForTest(1);
+  // Static engine never emits compact/epoch_reclaim phases, so these two
+  // cells are private to this test even on the singleton.
+  const auto outer_before =
+      reg.phase_latency(Engine::kStatic, Phase::kCompact).Snapshot();
+  const auto child_before =
+      reg.phase_latency(Engine::kStatic, Phase::kEpochReclaim).Snapshot();
+
+  constexpr uint64_t kMs = 1'000'000;
+  {
+    ScopedOp op(Engine::kStatic, Op::kLookup);
+    ScopedPhase outer(Engine::kStatic, Phase::kCompact);
+    SpinFor(1 * kMs);
+    {
+      ScopedPhase child(Engine::kStatic, Phase::kEpochReclaim);
+      SpinFor(8 * kMs);
+    }
+    SpinFor(1 * kMs);
+  }
+
+  const auto outer_delta =
+      reg.phase_latency(Engine::kStatic, Phase::kCompact)
+          .Snapshot()
+          .DeltaSince(outer_before);
+  const auto child_delta =
+      reg.phase_latency(Engine::kStatic, Phase::kEpochReclaim)
+          .Snapshot()
+          .DeltaSince(child_before);
+  ASSERT_EQ(outer_delta.total, 1u);
+  ASSERT_EQ(child_delta.total, 1u);
+  // The child saw its full 8 ms; the outer span's SELF time is ~2 ms —
+  // well below the 10 ms inclusive time, proving the child subtracted.
+  // Margins are generous (spins only bound from below; scheduler noise
+  // only lengthens) but 5 ms cleanly separates 2 ms self from 10 ms
+  // inclusive.
+  EXPECT_GE(child_delta.PercentileNs(50.0), 8 * kMs);
+  EXPECT_GE(outer_delta.PercentileNs(50.0), 2 * kMs);
+  EXPECT_LE(outer_delta.PercentileNs(50.0), 5 * kMs);
+  SetSamplePeriodForTest(64);
+}
+
+TEST(Phase, ScopedDurationAlwaysArmsSpans) {
+  if (!kEnabled) GTEST_SKIP() << "built with FITREE_NO_TELEMETRY";
+  auto& reg = Registry::Get();
+  SetSamplePeriodForTest(64);  // structural scopes ignore the period
+  const uint64_t before =
+      reg.phase_count(Engine::kDisk, Phase::kMergeResegment).Load();
+  {
+    ScopedDuration timer(Engine::kDisk, Op::kCompact);
+    ScopedPhase phase(Engine::kDisk, Phase::kMergeResegment);
+  }
+  EXPECT_EQ(
+      reg.phase_count(Engine::kDisk, Phase::kMergeResegment).Load() - before,
+      1u);
+}
+
+TEST(Phase, TraceRecordsCarryThePhaseTag) {
+  if (!kEnabled) GTEST_SKIP() << "built with FITREE_NO_TELEMETRY";
+  trace::ConfigOverride(/*enabled=*/true, /*ring_capacity=*/16);
+  SetSamplePeriodForTest(1);
+  {
+    ScopedOp op(Engine::kConcurrent, Op::kLookup);
+    ScopedPhase phase(Engine::kConcurrent, Phase::kBufferProbe);
+  }
+  const TraceDump dump = trace::Collect();
+  bool found_phase = false, found_op = false;
+  for (const TraceRecord& r : dump.records) {
+    if (r.phase ==
+        static_cast<uint16_t>(Phase::kBufferProbe) + 1) {
+      found_phase = true;
+      EXPECT_EQ(r.engine, static_cast<uint8_t>(Engine::kConcurrent));
+      EXPECT_EQ(r.op, static_cast<uint8_t>(Op::kLookup));
+    }
+    if (r.phase == 0 && r.op == static_cast<uint8_t>(Op::kLookup) &&
+        r.engine == static_cast<uint8_t>(Engine::kConcurrent)) {
+      found_op = true;
+    }
+  }
+  EXPECT_TRUE(found_phase) << "no phase-tagged trace record emitted";
+  EXPECT_TRUE(found_op) << "op-level record lost its phase==0 tag";
+  trace::ConfigOverride(/*enabled=*/false, /*ring_capacity=*/16);
+  SetSamplePeriodForTest(64);
+}
+
+// --- hardware counters ----------------------------------------------------
+
+TEST(PerfCounters, RegionDegradesGracefullyEverywhere) {
+  // Must never crash, whatever the kernel/container allows. Both builds:
+  // PerfRegion is bench machinery, live under FITREE_NO_TELEMETRY too.
+  PerfRegion region;
+  EXPECT_FALSE(region.status().empty());
+  region.Start();
+  const PerfSample sample = region.Stop();
+  EXPECT_FALSE(sample.status.empty());
+  if (region.available()) {
+    // Counters that scheduled report usable windows and non-negative
+    // values; ok mirrors "anything counted".
+    if (sample.ok) {
+      EXPECT_GT(sample.time_running_ns, 0.0);
+      EXPECT_GE(sample.time_enabled_ns, sample.time_running_ns);
+    }
+  } else {
+    EXPECT_FALSE(sample.ok);
+    // The status names the failure, never a bare error code.
+    EXPECT_TRUE(sample.status.find("unavailable") != std::string::npos ||
+                sample.status.find("disabled") != std::string::npos)
+        << sample.status;
+  }
+}
+
+TEST(PerfCounters, StopWithoutStartIsNotMeasured) {
+  PerfRegion region;
+  const PerfSample sample = region.Stop();
+  EXPECT_FALSE(sample.ok);
+  if (region.available()) {
+    EXPECT_EQ(sample.status, "not measured");
+  }
+}
+
+TEST(PerfCounters, EnvKnobDisablesCollection) {
+  ASSERT_EQ(setenv("FITREE_PERF", "0", /*overwrite=*/1), 0);
+  {
+    PerfRegion region;
+    EXPECT_FALSE(region.available());
+    EXPECT_EQ(region.status(), "disabled (FITREE_PERF=0)");
+    region.Start();
+    EXPECT_FALSE(region.Stop().ok);
+  }
+  unsetenv("FITREE_PERF");
 }
 
 // --- engine Stats() snapshots ---------------------------------------------

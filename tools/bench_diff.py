@@ -7,6 +7,9 @@ regresses when its ratio exceeds --threshold, improves when it drops below
 1/threshold. Exit status is 1 when any record regresses (0 under
 --warn-only), 2 on malformed input; records present on only one side are
 reported but never fail the gate (experiments come and go across PRs).
+Pairing keys on (experiment, string-valued params) only — fields the
+exporter grows later (perf blocks, telemetry annotations) are ignored, so
+schema additions cannot break an existing baseline comparison.
 
 Typical use:
 
@@ -41,9 +44,19 @@ def load_results(path):
         die(f"{path} is not a BENCH_results.json document")
     records = {}
     for record in doc["results"]:
+        if not isinstance(record, dict):
+            continue  # tolerate foreign entries rather than fail the gate
+        params = record.get("params")
+        if not isinstance(params, dict):
+            params = {}
+        # Pair on string-valued params only: exporter additions (perf
+        # blocks, numeric annotations, nested objects) land in records as
+        # new non-string fields over time, and an unknown field must never
+        # change how existing records pair or sort.
         key = (
-            record.get("experiment", "?"),
-            tuple(sorted(record.get("params", {}).items())),
+            str(record.get("experiment", "?")),
+            tuple(sorted((k, v) for k, v in params.items()
+                         if isinstance(v, str))),
         )
         records[key] = record
     return records
