@@ -1,0 +1,86 @@
+// Consolidated process-wide configuration. Every FITREE_* environment knob
+// that tunes engine or server behavior is resolved HERE, exactly once, into
+// one immutable fitree::Options value (GlobalOptions()). Engine and server
+// config structs default their fields from it; nothing outside this header
+// (and the test-only override hooks in telemetry) reads those variables ad
+// hoc anymore, so a knob's default, parse rule, and clamp live in a single
+// place.
+//
+// Knobs resolved here:
+//   FITREE_SEARCH_POLICY  binary | linear | exponential | simd  (simd)
+//   FITREE_DIRECTORY      btree | flat                          (flat)
+//   FITREE_TELEM_SAMPLE   latency sampling period, >= 1         (64)
+//   FITREE_TRACE          0 | 1 trace-ring capture              (0)
+//   FITREE_TRACE_RING     per-thread trace ring slots, >= 16    (4096)
+//   FITREE_PERF           0 disables perf_event PMU capture     (attempt)
+//   FITREE_SHARDS         server shard count, >= 1              (4)
+//   FITREE_BATCH          server per-shard drain batch, >= 1    (32)
+//
+// Bench-harness knobs (FITREE_BENCH_*) stay in bench/ — they size
+// workloads, not the engines.
+
+#ifndef FITREE_COMMON_OPTIONS_H_
+#define FITREE_COMMON_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/env.h"
+#include "core/flat_directory.h"
+#include "core/search_policy.h"
+
+namespace fitree {
+
+struct Options {
+  SearchPolicy search_policy = SearchPolicy::kSimd;
+  DirectoryMode directory = DirectoryMode::kFlat;
+  uint64_t telemetry_sample = 64;  // 1-in-N latency sampling
+  bool trace = false;              // trace-ring capture on/off
+  size_t trace_ring = 4096;        // per-thread ring capacity (slots)
+  bool perf = true;                // attempt perf_event PMU capture
+  size_t shards = 4;               // server: shard / worker-thread count
+  size_t batch = 32;               // server: max ops drained per batch
+
+  // Reads every knob from the environment, applying defaults and clamps.
+  static Options FromEnvironment() {
+    Options o;
+    o.search_policy =
+        ParseSearchPolicy(GetEnvString("FITREE_SEARCH_POLICY", "simd"))
+            .value_or(SearchPolicy::kSimd);
+    o.directory = ParseDirectoryMode(GetEnvString("FITREE_DIRECTORY", "flat"))
+                      .value_or(DirectoryMode::kFlat);
+    const int64_t sample = GetEnvInt64("FITREE_TELEM_SAMPLE", 64);
+    o.telemetry_sample = sample < 1 ? 1u : static_cast<uint64_t>(sample);
+    o.trace = GetEnvInt64("FITREE_TRACE", 0) != 0;
+    const int64_t ring = GetEnvInt64("FITREE_TRACE_RING", 4096);
+    o.trace_ring = ring < 16 ? 16u : static_cast<size_t>(ring);
+    o.perf = GetEnvInt64("FITREE_PERF", 1) != 0;
+    const int64_t shards = GetEnvInt64("FITREE_SHARDS", 4);
+    o.shards = shards < 1 ? 1u : static_cast<size_t>(shards);
+    const int64_t batch = GetEnvInt64("FITREE_BATCH", 32);
+    o.batch = batch < 1 ? 1u : static_cast<size_t>(batch);
+    return o;
+  }
+};
+
+// The process-wide Options, resolved from the environment on first use and
+// immutable afterwards. Config structs capture its fields as defaults at
+// construction time, so per-instance overrides still work as before.
+inline const Options& GlobalOptions() {
+  static const Options options = Options::FromEnvironment();
+  return options;
+}
+
+// Process-wide defaults for the two hot-path strategy knobs. These used to
+// live next to their enums (core/search_policy.h, core/flat_directory.h)
+// and read the environment themselves; they are now thin views over
+// GlobalOptions() so the resolution story has one home.
+inline SearchPolicy DefaultSearchPolicy() {
+  return GlobalOptions().search_policy;
+}
+
+inline DirectoryMode DefaultDirectoryMode() { return GlobalOptions().directory; }
+
+}  // namespace fitree
+
+#endif  // FITREE_COMMON_OPTIONS_H_

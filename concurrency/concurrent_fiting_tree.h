@@ -53,6 +53,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/options.h"
 #include "common/prefetch.h"
 #include "concurrency/epoch.h"
 #include "concurrency/merge_worker.h"
@@ -100,6 +101,7 @@ struct ConcurrentFitingTreeStats {
 template <typename K, typename V = uint64_t>
 class ConcurrentFitingTree {
  public:
+  using Key = K;
   using Payload = V;
 
   static std::unique_ptr<ConcurrentFitingTree> Create(
@@ -325,21 +327,35 @@ class ConcurrentFitingTree {
   // ascending order over one directory snapshot: segment pages are read in
   // place, delta buffers are copied out under their latch (they hold at
   // most ~error/2 entries).
+  // Returns the number of entries emitted (IndexApi contract).
   template <typename Fn>
-  void ScanRange(const K& lo, const K& hi, Fn fn) const {
+  size_t ScanRange(const K& lo, const K& hi, Fn fn) const {
     telemetry::ScopedOp telem(telemetry::Engine::kConcurrent,
                               telemetry::Op::kScan);
-    if (hi < lo) return;
+    if (hi < lo) return 0;
     EpochGuard guard(epoch_);
     const Directory* dir = dir_.load(std::memory_order_seq_cst);
-    if (dir->segments.empty()) return;
+    if (dir->segments.empty()) return 0;
+    size_t emitted = 0;
     std::vector<BufferEntry> buffer_copy;
     for (size_t i = dir->FloorIndex(lo); i < dir->segments.size(); ++i) {
       const Segment* seg = dir->segments[i];
       if (seg->first_key > hi) break;
       CopyBuffer(*seg, &buffer_copy);
-      EmitRange(*seg, buffer_copy, lo, hi, fn);
+      emitted += EmitRange(*seg, buffer_copy, lo, hi, fn);
     }
+    return emitted;
+  }
+
+  // Prefetch the predicted page position a Lookup(key) would search, under
+  // a short epoch guard (the directory pointer must stay live while it is
+  // dereferenced). Server batches call this across all drained probes
+  // before resolving any of them (server/sharded_index.h).
+  void PrefetchLookup(const K& key) const {
+    EpochGuard guard(epoch_);
+    const Directory* dir = dir_.load(std::memory_order_seq_cst);
+    const Segment* seg = dir->Floor(key);
+    if (seg != nullptr) PrefetchPredicted(*seg, key);
   }
 
   size_t SegmentCount() const {
@@ -565,9 +581,11 @@ class ConcurrentFitingTree {
     *out = seg.buffer;
   }
 
+  // Returns the number of entries emitted from this segment.
   template <typename Fn>
-  void EmitRange(const Segment& seg, const std::vector<BufferEntry>& buffer,
-                 const K& lo, const K& hi, Fn& fn) const {
+  size_t EmitRange(const Segment& seg, const std::vector<BufferEntry>& buffer,
+                   const K& lo, const K& hi, Fn& fn) const {
+    size_t emitted = 0;
     auto k = std::lower_bound(seg.keys.begin(), seg.keys.end(), lo);
     auto b = std::lower_bound(buffer.begin(), buffer.end(), lo,
                               detail::BufferKeyLess{});
@@ -575,24 +593,32 @@ class ConcurrentFitingTree {
       const bool page_first =
           b == buffer.end() || (k != seg.keys.end() && *k < b->key);
       if (page_first) {
-        if (*k > hi) return;
+        if (*k > hi) return emitted;
         detail::EmitEntry(fn, *k,
                           seg.values[static_cast<size_t>(k - seg.keys.begin())]);
+        ++emitted;
         ++k;
         continue;
       }
-      if (b->key > hi) return;
+      if (b->key > hi) return emitted;
       if (k != seg.keys.end() && *k == b->key) {
         // The buffer shadows the page: a tombstone hides the paged key, a
         // live override replaces its payload.
-        if (!b->tombstone) detail::EmitEntry(fn, b->key, b->value);
+        if (!b->tombstone) {
+          detail::EmitEntry(fn, b->key, b->value);
+          ++emitted;
+        }
         ++k;
         ++b;
         continue;
       }
-      if (!b->tombstone) detail::EmitEntry(fn, b->key, b->value);
+      if (!b->tombstone) {
+        detail::EmitEntry(fn, b->key, b->value);
+        ++emitted;
+      }
       ++b;
     }
+    return emitted;
   }
 
   // Precondition: latch held. Sorted insertion point for `key`.

@@ -22,6 +22,7 @@ namespace fitree {
 template <typename K, typename V = uint64_t>
 class MutexFitingTree {
  public:
+  using Key = K;
   using Payload = V;
   using Tree = FitingTree<K, 16, 16, V>;
 
@@ -69,9 +70,9 @@ class MutexFitingTree {
   }
 
   template <typename Fn>
-  void ScanRange(const K& lo, const K& hi, Fn fn) const {
+  size_t ScanRange(const K& lo, const K& hi, Fn fn) const {
     std::lock_guard<std::mutex> lock(mu_);
-    tree_->ScanRange(lo, hi, fn);
+    return tree_->ScanRange(lo, hi, fn);
   }
 
   size_t size() const {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "btree/btree_map.h"
+#include "common/options.h"
 #include "common/prefetch.h"
 #include "common/timer.h"
 #include "core/flat_directory.h"
@@ -113,6 +114,7 @@ template <typename K, int kInnerSlots = 16, int kLeafSlots = kInnerSlots,
           typename V = uint64_t>
 class FitingTree {
  public:
+  using Key = K;
   using Payload = V;
 
   static std::unique_ptr<FitingTree> Create(const std::vector<K>& keys,
@@ -283,21 +285,33 @@ class FitingTree {
 
   // Calls fn(key) or fn(key, value) for every live entry in [lo, hi] in
   // ascending order, merging each segment's page with its buffer on the fly
-  // (tombstoned keys are skipped).
+  // (tombstoned keys are skipped). Returns the number of entries emitted
+  // (IndexApi contract, core/index_api.h).
   template <typename Fn>
-  void ScanRange(const K& lo, const K& hi, Fn fn) const {
+  size_t ScanRange(const K& lo, const K& hi, Fn fn) const {
     telemetry::ScopedOp telem(telemetry::Engine::kBuffered,
                               telemetry::Op::kScan);
-    if (live_segments_ == 0 || hi < lo) return;
+    if (live_segments_ == 0 || hi < lo) return 0;
     K start_key{};
     if (directory_.FindFloor(lo, &start_key) == nullptr) {
       directory_.First(&start_key);
     }
+    size_t emitted = 0;
     directory_.ScanFrom(start_key, [&](const K& first_key, SegmentData* seg) {
       if (first_key > hi) return false;
-      EmitRange(*seg, lo, hi, fn);
+      emitted += EmitRange(*seg, lo, hi, fn);
       return true;
     });
+    return emitted;
+  }
+
+  // Starts the cache lines a Lookup(key) would touch travelling: descend
+  // the directory, then prefetch the predicted in-page position. The
+  // server's batched dispatch (server/sharded_index.h) calls this across a
+  // whole batch before resolving any probe, overlapping the page misses.
+  void PrefetchLookup(const K& key) const {
+    const SegmentData* seg = LocateSegment(key);
+    if (seg != nullptr) PrefetchPredicted(*seg, key);
   }
 
   // Directory nodes plus per-segment model metadata (the key pages and
@@ -476,9 +490,11 @@ class FitingTree {
     return &*pos;
   }
 
+  // Returns the number of entries emitted from this segment.
   template <typename Fn>
-  void EmitRange(const SegmentData& seg, const K& lo, const K& hi,
-                 Fn& fn) const {
+  size_t EmitRange(const SegmentData& seg, const K& lo, const K& hi,
+                   Fn& fn) const {
+    size_t emitted = 0;
     auto k = std::lower_bound(seg.keys.begin(), seg.keys.end(), lo);
     auto b = std::lower_bound(seg.buffer.begin(), seg.buffer.end(), lo,
                               detail::BufferKeyLess{});
@@ -486,13 +502,14 @@ class FitingTree {
       const bool page_first =
           b == seg.buffer.end() || (k != seg.keys.end() && *k < b->key);
       if (page_first) {
-        if (*k > hi) return;
+        if (*k > hi) return emitted;
         detail::EmitEntry(fn, *k,
                           seg.values[static_cast<size_t>(k - seg.keys.begin())]);
+        ++emitted;
         ++k;
         continue;
       }
-      if (b->key > hi) return;
+      if (b->key > hi) return emitted;
       if (k != seg.keys.end() && *k == b->key) {
         // Equal keys: the buffer entry shadows the page. By the buffer
         // invariants this is a tombstone (live entries are never paged).
@@ -501,9 +518,13 @@ class FitingTree {
         ++b;
         continue;
       }
-      if (!b->tombstone) detail::EmitEntry(fn, b->key, b->value);
+      if (!b->tombstone) {
+        detail::EmitEntry(fn, b->key, b->value);
+        ++emitted;
+      }
       ++b;
     }
+    return emitted;
   }
 
   // Merges `seg`'s buffer into its page — applying pending inserts and

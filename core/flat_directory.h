@@ -43,13 +43,8 @@ inline std::optional<DirectoryMode> ParseDirectoryMode(
   return std::nullopt;
 }
 
-// Process-wide default, read once from FITREE_DIRECTORY (btree | flat).
-inline DirectoryMode DefaultDirectoryMode() {
-  static const DirectoryMode mode =
-      ParseDirectoryMode(GetEnvString("FITREE_DIRECTORY", "flat"))
-          .value_or(DirectoryMode::kFlat);
-  return mode;
-}
+// The process-wide default (FITREE_DIRECTORY) lives in common/options.h:
+// DefaultDirectoryMode() is a view over GlobalOptions().
 
 // Sorted, duplicate-free key array answering floor queries ("index of the
 // last key <= probe"). For the engines whose directory payload is the

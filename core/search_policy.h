@@ -70,16 +70,8 @@ inline std::optional<SearchPolicy> ParseSearchPolicy(const std::string& name) {
   return std::nullopt;
 }
 
-// Process-wide default, read once from FITREE_SEARCH_POLICY (binary |
-// linear | exponential | simd). The fast path is the default; the knob
-// exists so benches can ablate each trick and CI can pin the scalar
-// policies.
-inline SearchPolicy DefaultSearchPolicy() {
-  static const SearchPolicy policy =
-      ParseSearchPolicy(GetEnvString("FITREE_SEARCH_POLICY", "simd"))
-          .value_or(SearchPolicy::kSimd);
-  return policy;
-}
+// The process-wide default (FITREE_SEARCH_POLICY) lives in
+// common/options.h: DefaultSearchPolicy() is a view over GlobalOptions().
 
 namespace simd {
 

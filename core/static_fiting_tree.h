@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "btree/btree_map.h"
+#include "common/options.h"
 #include "common/prefetch.h"
 #include "core/flat_directory.h"
 #include "core/search_policy.h"
@@ -37,6 +38,9 @@ namespace fitree {
 template <typename K>
 class StaticFitingTree {
  public:
+  using Key = K;
+  using Payload = uint64_t;
+
   // Policy/directory defaults come from the FITREE_SEARCH_POLICY /
   // FITREE_DIRECTORY knobs (simd + flat unless overridden), so benches and
   // differential suites exercise the fast path by default.
@@ -117,8 +121,11 @@ class StaticFitingTree {
   }
 
   // Replaces the payload of a present key in place (the key set itself is
-  // immutable). Returns false when absent.
-  bool UpdatePayload(const K& key, uint64_t value) {
+  // immutable). Returns false when absent. Named Update to match the
+  // engine-wide contract (core/index_api.h); the read-only key set still
+  // rules out Insert/Delete, so this engine models IndexApi but not
+  // MutableIndexApi.
+  bool Update(const K& key, uint64_t value) {
     const auto rank = Find(key);
     if (!rank.has_value()) return false;
     if (values_.empty()) {
@@ -132,6 +139,11 @@ class StaticFitingTree {
     return true;
   }
 
+  [[deprecated("renamed to Update (core/index_api.h contract)")]]
+  bool UpdatePayload(const K& key, uint64_t value) {
+    return Update(key, value);
+  }
+
   // Number of keys in [lo, hi]: two rank lookups, no scan.
   size_t RangeCount(const K& lo, const K& hi) const {
     if (hi < lo) return 0;
@@ -140,10 +152,12 @@ class StaticFitingTree {
 
   // Calls fn(key) or fn(key, value) for every key in [lo, hi] ascending.
   // Counts one static/scan (plus the static/lookup its descent performs).
+  // Returns the number of entries emitted (IndexApi contract).
   template <typename Fn>
-  void ScanRange(const K& lo, const K& hi, Fn fn) const {
+  size_t ScanRange(const K& lo, const K& hi, Fn fn) const {
     telemetry::ScopedOp telem(telemetry::Engine::kStatic,
                               telemetry::Op::kScan);
+    size_t emitted = 0;
     for (size_t i = LowerBound(lo); i < data_.size() && data_[i] <= hi; ++i) {
       if constexpr (std::is_invocable_v<Fn&, const K&, const uint64_t&>) {
         fn(data_[i],
@@ -151,7 +165,29 @@ class StaticFitingTree {
       } else {
         fn(data_[i]);
       }
+      ++emitted;
     }
+    return emitted;
+  }
+
+  // Prefetch the predicted data-array position a Lookup(key) would search
+  // (see core/index_api.h PrefetchableIndex; used by the server's batched
+  // group-prefetch dispatch). Untimed and uncounted on purpose.
+  void PrefetchLookup(const K& key) const {
+    if (data_.empty()) return;
+    size_t id;
+    if (directory_mode_ == DirectoryMode::kFlat) {
+      id = flat_index_.FloorIndex(key);
+      if (id == FlatKeyIndex<K>::kNone) id = 0;
+    } else {
+      const uint32_t* found = directory_.FindFloor(key);
+      id = found == nullptr ? 0 : *found;
+    }
+    const Segment<K>& seg = segments_[id];
+    const double pred = seg.Predict(key);
+    const size_t hint =
+        pred <= 0.0 ? 0 : std::min(data_.size() - 1, static_cast<size_t>(pred));
+    PrefetchRead(data_.data() + hint);
   }
 
   // Directory plus per-segment model metadata; the data array itself is the

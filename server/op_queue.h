@@ -1,0 +1,174 @@
+// Bounded multi-producer single-consumer op queue for shard workers.
+//
+// The ring is Vyukov's bounded MPMC queue used in MPSC mode: each cell
+// carries a sequence atomic that encodes, relative to the head/tail
+// counters, whether the cell is free, full, or in flight. Producers claim
+// cells with one CAS on enqueue_pos_ and never touch each other's cells;
+// the single consumer drains *batches* — PopBatch copies out every ready
+// cell up to a cap with one acquire load per cell and no CAS at all, which
+// is the structural basis of the server's batched dispatch (the worker
+// amortizes wakeup, telemetry, and prefetch work over the whole batch).
+//
+// Blocking is layered on top, not inside: the ring itself is lock-free.
+// The consumer parks on a condvar only after the queue goes empty
+// (WaitNonEmpty), and producers take the mutex only when the consumer has
+// declared itself sleeping. The sleeping_ flag uses seq_cst on both sides
+// so the producer's "is anyone asleep?" check cannot be reordered before
+// its enqueue becomes visible (the classic Dekker store/load pattern);
+// the consumer additionally bounds every park (~500us) so a missed wakeup
+// degrades to a bounded stall rather than a hang.
+//
+// Capacity is rounded up to a power of two; Push spins on a full ring
+// (backpressure) and reports the number of full-ring stalls so the server
+// can surface queue saturation as a counter.
+
+#ifndef FITREE_SERVER_OP_QUEUE_H_
+#define FITREE_SERVER_OP_QUEUE_H_
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace fitree::server {
+
+template <typename T>
+class OpQueue {
+ public:
+  explicit OpQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  OpQueue(const OpQueue&) = delete;
+  OpQueue& operator=(const OpQueue&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // Producer: one attempt. False means the ring is currently full.
+  bool TryPush(const T& item) {
+    Cell* cell;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->seq.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full: the consumer hasn't recycled this cell yet
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = item;
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Producer: blocking push. Spins TryPush (yielding periodically while the
+  // ring stays full) and wakes the consumer if it is parked. Returns the
+  // number of full-ring stalls endured — the server feeds that into the
+  // enqueue-stall counter as a backpressure signal.
+  size_t Push(const T& item) {
+    size_t stalls = 0;
+    while (!TryPush(item)) {
+      ++stalls;
+      if ((stalls & 0x3F) == 0) {
+        std::this_thread::yield();
+      }
+    }
+    WakeConsumer();
+    return stalls;
+  }
+
+  // Consumer only: drain up to `max` ready items into `out`. Returns the
+  // number drained (0 == queue empty at the time of the call). One acquire
+  // load + one release store per item; no CAS — there is only one consumer.
+  size_t PopBatch(T* out, size_t max) {
+    size_t n = 0;
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    while (n < max) {
+      Cell* cell = &cells_[pos & mask_];
+      const size_t seq = cell->seq.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (dif < 0) break;  // cell not yet published
+      assert(dif == 0 && "single consumer invariant violated");
+      out[n++] = cell->value;
+      cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+      ++pos;
+    }
+    dequeue_pos_.store(pos, std::memory_order_relaxed);
+    return n;
+  }
+
+  // Consumer-side emptiness check (exact for the single consumer; a
+  // producer may publish immediately after, which WaitNonEmpty handles).
+  bool Empty() const {
+    const size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    const size_t seq = cells_[pos & mask_].seq.load(std::memory_order_acquire);
+    return static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0;
+  }
+
+  // Consumer: park until an item is (probably) available or `stop` turns
+  // true. The bounded wait is the safety net for the sleeping_ handshake:
+  // even a missed notify costs at most ~500us of latency, never liveness.
+  void WaitNonEmpty(const std::atomic<bool>& stop) {
+    std::unique_lock<std::mutex> lock(mu_);
+    sleeping_.store(true, std::memory_order_seq_cst);
+    if (Empty() && !stop.load(std::memory_order_acquire)) {
+      cv_.wait_for(lock, std::chrono::microseconds(500));
+    }
+    sleeping_.store(false, std::memory_order_seq_cst);
+  }
+
+  // Producer: wake the consumer iff it declared itself parked. The seq_cst
+  // load orders after the enqueue's release store (see file comment).
+  void WakeConsumer() {
+    if (sleeping_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_one();
+    }
+  }
+
+  // Shutdown path: unconditional wake (the consumer may be parked with the
+  // queue empty and only the stop flag changed).
+  void WakeAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<size_t> dequeue_pos_{0};
+
+  alignas(64) std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> sleeping_{false};
+};
+
+}  // namespace fitree::server
+
+#endif  // FITREE_SERVER_OP_QUEUE_H_

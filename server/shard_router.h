@@ -1,0 +1,77 @@
+// Key -> shard routing for the sharded index server.
+//
+// Shards range-partition the key space: shard i owns [boundary[i],
+// boundary[i+1]) and the last shard owns everything from its boundary up.
+// Routing is therefore a floor lookup over the boundary array, and the
+// router reuses FlatKeyIndex (core/flat_directory.h) — the same
+// interpolation-guess + SIMD-count descent the flat segment directory
+// uses — so a route over even thousands of shards is a handful of
+// touches on one small, immutable, cache-resident array.
+//
+// The boundary array is fixed at server construction (no resharding), so
+// the router is immutable after Create and safe to probe from any number
+// of client threads with no synchronization.
+
+#ifndef FITREE_SERVER_SHARD_ROUTER_H_
+#define FITREE_SERVER_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/flat_directory.h"
+
+namespace fitree::server {
+
+template <typename K>
+class ShardRouter {
+ public:
+  ShardRouter() = default;
+
+  // `boundaries` must be sorted and duplicate-free; boundaries[0] is the
+  // logical minimum of shard 0 (keys below it still route to shard 0 —
+  // the first shard owns the left tail, see ShardOf).
+  static ShardRouter Create(std::vector<K> boundaries) {
+    ShardRouter router;
+    if (boundaries.empty()) boundaries.push_back(K{});
+    router.index_.Reset(std::move(boundaries));
+    return router;
+  }
+
+  // Evenly split `keys` (sorted) into `shards` boundary keys:
+  // boundary[i] = keys[i * n / shards]. Fewer distinct boundaries than
+  // requested shards (tiny or skewed key sets) simply yields fewer shards.
+  static std::vector<K> Partition(const std::vector<K>& keys, size_t shards) {
+    std::vector<K> boundaries;
+    if (keys.empty() || shards == 0) {
+      boundaries.push_back(K{});
+      return boundaries;
+    }
+    const size_t n = keys.size();
+    boundaries.reserve(shards);
+    for (size_t i = 0; i < shards; ++i) {
+      const K& b = keys[i * n / shards];
+      if (boundaries.empty() || boundaries.back() < b) {
+        boundaries.push_back(b);
+      }
+    }
+    return boundaries;
+  }
+
+  // The shard owning `key`. Total: keys sorting before the first boundary
+  // clamp to shard 0, so every key — including ones the index has never
+  // seen — routes somewhere deterministic.
+  size_t ShardOf(const K& key) const {
+    const size_t floor = index_.FloorIndex(key);
+    return floor == FlatKeyIndex<K>::kNone ? 0 : floor;
+  }
+
+  size_t shard_count() const { return index_.size(); }
+  const K& boundary(size_t shard) const { return index_.key_at(shard); }
+
+ private:
+  FlatKeyIndex<K> index_;
+};
+
+}  // namespace fitree::server
+
+#endif  // FITREE_SERVER_SHARD_ROUTER_H_

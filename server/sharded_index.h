@@ -1,0 +1,474 @@
+// ShardedIndex<Engine>: a batched, range-partitioned index server over any
+// engine modeling MutableIndexApi (core/index_api.h).
+//
+// Architecture (ISSUE 9 tentpole):
+//
+//   client threads                 shard workers (one thread per shard)
+//   --------------                 -----------------------------------
+//   route key -> shard             loop:
+//     (ShardRouter floor over        PopBatch(up to `batch` requests)
+//      the boundary array)           prefetch pass: PrefetchLookup for
+//   enqueue Request on the             every point op in the batch
+//     shard's MPSC OpQueue           resolve pass: execute each op,
+//   wait on ResponseSlot               Publish() its slot
+//
+// Each shard owns a contiguous key range and a private engine instance —
+// shards never share index state, so the engines need no cross-shard
+// synchronization and even the single-threaded FitingTree becomes safely
+// multi-client behind its worker. The batch drain is where the design
+// earns its throughput: one wakeup, one batch of queue loads, and one
+// telemetry update cover up to `batch` requests, and the *group prefetch*
+// pass issues the predicted-leaf prefetch (each engine's PrefetchLookup
+// hook, paired with common/prefetch.h) for every request in the batch
+// before resolving any of them — by the time the resolve pass reaches
+// request i, its directory/leaf lines have had the whole preceding batch's
+// work as memory-latency cover. That is software pipelining across
+// independent probes, the same trick the engines play *inside* one lookup,
+// lifted across requests.
+//
+// Memory model notes:
+//   - ResponseSlot's release-Publish/acquire-Wait edge is the only
+//     client<->worker synchronization; everything the worker wrote before
+//     publishing (including its relaxed size_ bookkeeping) is visible to
+//     the client after Wait().
+//   - shard_engine() exposes the underlying engines for validation, legal
+//     only once the caller's own requests have completed and no other
+//     client is submitting (post-quiescence): the slot edges above make
+//     the worker's writes visible, and quiescence removes the races.
+//
+// Telemetry: requests count exactly (server rows in the [engine][op]
+// grid measure the request path — submit to publish — on top of whatever
+// engine the shards run); latencies are sampled via the same
+// 1-in-FITREE_TELEM_SAMPLE countdown the engines use, and sampled
+// requests decompose into the kShardRoute / kShardQueueWait / kShardExec
+// phases. Those spans cross threads (route on the client, wait/exec on
+// the worker), so they are recorded straight into the phase grid rather
+// than through the thread-local ScopedPhase machinery.
+
+#ifndef FITREE_SERVER_SHARDED_INDEX_H_
+#define FITREE_SERVER_SHARDED_INDEX_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/options.h"
+#include "core/index_api.h"
+#include "server/op_queue.h"
+#include "server/request.h"
+#include "server/shard_router.h"
+#include "telemetry/metrics.h"
+#include "telemetry/phase.h"
+#include "telemetry/registry.h"
+#include "telemetry/structural.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace fitree::server {
+
+namespace detail {
+
+inline telemetry::Op OpFor(ReqOp op) {
+  switch (op) {
+    case ReqOp::kLookup: return telemetry::Op::kLookup;
+    case ReqOp::kInsert: return telemetry::Op::kInsert;
+    case ReqOp::kUpdate: return telemetry::Op::kUpdate;
+    case ReqOp::kDelete: return telemetry::Op::kDelete;
+    case ReqOp::kScan: return telemetry::Op::kScan;
+  }
+  return telemetry::Op::kLookup;
+}
+
+// Cross-thread phase record for sampled requests: one count + one latency
+// sample in the server's phase grid. Bypasses ScopedPhase (whose nesting
+// state is thread-local) because route/wait/exec spans live on different
+// threads. Compiles away with the rest of the instrumentation.
+inline void RecordServerPhase(telemetry::Phase phase, uint64_t ns) {
+  if (!telemetry::kEnabled) return;
+  auto& reg = telemetry::Registry::Get();
+  reg.phase_count(telemetry::Engine::kServer, phase).Add();
+  reg.phase_latency(telemetry::Engine::kServer, phase).Record(ns);
+}
+
+}  // namespace detail
+
+template <typename Engine>
+class ShardedIndex {
+  static_assert(MutableIndexApi<Engine>,
+                "ShardedIndex requires an engine modeling MutableIndexApi "
+                "(core/index_api.h)");
+
+ public:
+  using Key = typename Engine::Key;
+  using Payload = typename Engine::Payload;
+  using Req = Request<Key, Payload>;
+  using Slot = ResponseSlot<Key, Payload>;
+
+  // Builds one engine instance from its shard's slice of the initial load.
+  using Factory = std::function<std::unique_ptr<Engine>(
+      const std::vector<Key>&, const std::vector<Payload>&)>;
+
+  struct Config {
+    size_t shards = GlobalOptions().shards;  // FITREE_SHARDS
+    size_t batch = GlobalOptions().batch;    // FITREE_BATCH (>= 1)
+    size_t queue_capacity = 4096;            // per-shard ring, rounded to 2^k
+    bool pin_threads = false;                // pthread affinity, Linux only
+  };
+
+  // `keys` sorted ascending; `values` parallel to `keys` or empty (engines
+  // default-fill). Shard i receives keys[i*n/s, (i+1)*n/s) — the same
+  // arithmetic ShardRouter::Partition uses for the boundaries, so slices
+  // and ownership ranges agree exactly.
+  static std::unique_ptr<ShardedIndex> Create(const std::vector<Key>& keys,
+                                              const std::vector<Payload>& values,
+                                              Factory factory,
+                                              Config config = {}) {
+    if (config.shards == 0) config.shards = 1;
+    if (config.batch == 0) config.batch = 1;
+    auto server = std::unique_ptr<ShardedIndex>(new ShardedIndex());
+    server->config_ = config;
+    server->router_ =
+        ShardRouter<Key>::Create(ShardRouter<Key>::Partition(keys, config.shards));
+    const size_t shards = server->router_.shard_count();
+
+    server->shards_ = std::make_unique<Shard[]>(shards);
+    server->shard_count_ = shards;
+    const size_t n = keys.size();
+    for (size_t i = 0; i < shards; ++i) {
+      const size_t lo = i * n / shards;
+      const size_t hi = (i + 1) * n / shards;
+      std::vector<Key> shard_keys(keys.begin() + lo, keys.begin() + hi);
+      std::vector<Payload> shard_values;
+      if (!values.empty()) {
+        shard_values.assign(values.begin() + lo, values.begin() + hi);
+      }
+      Shard& shard = server->shards_[i];
+      shard.engine = factory(shard_keys, shard_values);
+      if (shard.engine == nullptr) return nullptr;
+      shard.queue = std::make_unique<OpQueue<Req>>(config.queue_capacity);
+    }
+    server->size_.store(n, std::memory_order_relaxed);
+
+    for (size_t i = 0; i < shards; ++i) {
+      Shard& shard = server->shards_[i];
+      shard.worker = std::thread([srv = server.get(), &shard, i] {
+        srv->WorkerLoop(shard, i);
+      });
+    }
+    return server;
+  }
+
+  ~ShardedIndex() {
+    stop_.store(true, std::memory_order_release);
+    for (size_t i = 0; i < shard_count_; ++i) shards_[i].queue->WakeAll();
+    for (size_t i = 0; i < shard_count_; ++i) {
+      if (shards_[i].worker.joinable()) shards_[i].worker.join();
+    }
+  }
+
+  // --- synchronous client API (IndexApi-shaped, thread-safe) ------------
+
+  std::optional<Payload> Lookup(const Key& key) const {
+    Slot slot;
+    Req req;
+    req.op = ReqOp::kLookup;
+    req.key = key;
+    req.slot = &slot;
+    Submit(req);
+    slot.Wait();
+    if (!slot.found) return std::nullopt;
+    return slot.value;
+  }
+
+  bool Contains(const Key& key) const {
+    Slot slot;
+    Req req;
+    req.op = ReqOp::kLookup;
+    req.key = key;
+    req.slot = &slot;
+    Submit(req);
+    slot.Wait();
+    return slot.found;
+  }
+
+  bool Insert(const Key& key, const Payload& value) {
+    return RunMutation(ReqOp::kInsert, key, value);
+  }
+
+  bool Update(const Key& key, const Payload& value) {
+    return RunMutation(ReqOp::kUpdate, key, value);
+  }
+
+  bool Delete(const Key& key) { return RunMutation(ReqOp::kDelete, key, {}); }
+
+  // Ordered range scan across shards. The interval [lo, hi] is split into
+  // one sub-scan per touched shard; shards own disjoint, ordered ranges,
+  // so emitting shard results in shard order yields globally sorted
+  // output. Returns the total entries emitted. (The server.scan op row
+  // counts per-shard sub-scans, not client calls — documented in
+  // EXPERIMENTS.md.)
+  template <typename Fn>
+  size_t ScanRange(const Key& lo, const Key& hi, Fn fn) const {
+    if (hi < lo) return 0;
+    const size_t first = router_.ShardOf(lo);
+    const size_t last = router_.ShardOf(hi);
+    const size_t count = last - first + 1;
+    std::vector<Slot> slots(count);
+    std::vector<std::vector<std::pair<Key, Payload>>> outs(count);
+    for (size_t i = 0; i < count; ++i) {
+      Req req;
+      req.op = ReqOp::kScan;
+      req.key = lo;
+      req.hi = hi;
+      req.slot = &slots[i];
+      slots[i].scan_out = &outs[i];
+      SubmitTo(first + i, req);
+    }
+    size_t total = 0;
+    for (size_t i = 0; i < count; ++i) {
+      slots[i].Wait();
+      for (const auto& [k, v] : outs[i]) fn(k, v);
+      total += slots[i].count;
+    }
+    return total;
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  // --- asynchronous client API (pipelined load generators) --------------
+
+  // Fire-and-collect: route + enqueue without waiting. The caller owns the
+  // slot (and any scan_out vector) and must keep both alive until Ready().
+  void SubmitAsync(Req req) const { Submit(req); }
+
+  // --- introspection -----------------------------------------------------
+
+  size_t shard_count() const { return shard_count_; }
+  size_t batch_limit() const { return config_.batch; }
+  size_t ShardOf(const Key& key) const { return router_.ShardOf(key); }
+  const ShardRouter<Key>& router() const { return router_; }
+
+  // The engine behind one shard. Post-quiescence use only (validation /
+  // stats): see the memory-model note in the file comment.
+  const Engine& shard_engine(size_t shard) const {
+    return *shards_[shard].engine;
+  }
+
+  telemetry::StructuralStats Stats() const {
+    telemetry::StructuralStats stats;
+    stats.engine = "server";
+    uint64_t batches = 0;
+    uint64_t batched_ops = 0;
+    size_t min_keys = static_cast<size_t>(-1);
+    size_t max_keys = 0;
+    for (size_t i = 0; i < shard_count_; ++i) {
+      batches += shards_[i].batches.load(std::memory_order_relaxed);
+      batched_ops += shards_[i].batched_ops.load(std::memory_order_relaxed);
+      const size_t keys = shards_[i].engine->size();
+      if (keys < min_keys) min_keys = keys;
+      if (keys > max_keys) max_keys = keys;
+    }
+    stats.Add("shards", static_cast<double>(shard_count_));
+    stats.Add("batch_limit", static_cast<double>(config_.batch));
+    stats.Add("queue_capacity",
+              static_cast<double>(shards_[0].queue->capacity()));
+    stats.Add("batches", static_cast<double>(batches));
+    stats.Add("batched_ops", static_cast<double>(batched_ops));
+    stats.Add("avg_batch", batches == 0
+                               ? 0.0
+                               : static_cast<double>(batched_ops) /
+                                     static_cast<double>(batches));
+    stats.Add("keys", static_cast<double>(size()));
+    stats.Add("min_shard_keys",
+              static_cast<double>(min_keys == static_cast<size_t>(-1)
+                                      ? 0
+                                      : min_keys));
+    stats.Add("max_shard_keys", static_cast<double>(max_keys));
+    return stats;
+  }
+
+ private:
+  struct Shard {
+    std::unique_ptr<Engine> engine;
+    std::unique_ptr<OpQueue<Req>> queue;
+    std::thread worker;
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> batched_ops{0};
+  };
+
+  ShardedIndex() = default;
+
+  bool RunMutation(ReqOp op, const Key& key, const Payload& value) {
+    Slot slot;
+    Req req;
+    req.op = op;
+    req.key = key;
+    req.value = value;
+    req.slot = &slot;
+    Submit(req);
+    slot.Wait();
+    return slot.ok;
+  }
+
+  // Route + enqueue. Counts the op exactly; requests that win the sampling
+  // draw get an explicit route timing and an enqueue timestamp the worker
+  // turns into queue-wait / whole-request latencies.
+  void Submit(Req& req) const {
+    telemetry::CountOp(telemetry::Engine::kServer, detail::OpFor(req.op));
+    if (telemetry::kEnabled && telemetry::detail::ShouldSample()) {
+      const uint64_t t0 = telemetry::NowNs();
+      const size_t shard = router_.ShardOf(req.key);
+      const uint64_t t1 = telemetry::NowNs();
+      detail::RecordServerPhase(telemetry::Phase::kShardRoute, t1 - t0);
+      req.enqueue_ns = t1;
+      Enqueue(shard, req);
+    } else {
+      Enqueue(router_.ShardOf(req.key), req);
+    }
+  }
+
+  // Route-bypassing submit for per-shard sub-scans (the caller already
+  // knows the target). Still counts the op — and samples like Submit.
+  void SubmitTo(size_t shard, Req& req) const {
+    telemetry::CountOp(telemetry::Engine::kServer, detail::OpFor(req.op));
+    if (telemetry::kEnabled && telemetry::detail::ShouldSample()) {
+      req.enqueue_ns = telemetry::NowNs();
+    }
+    Enqueue(shard, req);
+  }
+
+  void Enqueue(size_t shard, const Req& req) const {
+    const size_t stalls = shards_[shard].queue->Push(req);
+    if (stalls != 0) {
+      telemetry::CounterAdd(telemetry::CounterId::kServerEnqueueStalls,
+                            stalls);
+    }
+  }
+
+  void WorkerLoop(Shard& shard, size_t index) {
+#if defined(__linux__)
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (config_.pin_threads && cores != 0) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(index % cores, &set);
+      pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+    }
+#else
+    (void)index;
+#endif
+    Engine& engine = *shard.engine;
+    std::vector<Req> batch(config_.batch);
+    for (;;) {
+      size_t n = shard.queue->PopBatch(batch.data(), config_.batch);
+      if (n == 0) {
+        if (stop_.load(std::memory_order_acquire) && shard.queue->Empty()) {
+          return;
+        }
+        shard.queue->WaitNonEmpty(stop_);
+        continue;
+      }
+      // Bounded linger (batched mode only): an under-full drain yields one
+      // scheduling slot so in-flight producers can top the batch up, then
+      // takes whatever arrived. This is the batching analogue of interrupt
+      // coalescing — it trades at most one yield of latency for batch fill,
+      // which is what amortizes the per-wake costs and gives the group
+      // prefetch below a window to work with. Unbatched dispatch
+      // (batch == 1) resolves immediately, by definition.
+      if (config_.batch > 1 && n < config_.batch) {
+        std::this_thread::yield();
+        n += shard.queue->PopBatch(batch.data() + n, config_.batch - n);
+      }
+      shard.batches.fetch_add(1, std::memory_order_relaxed);
+      shard.batched_ops.fetch_add(n, std::memory_order_relaxed);
+      telemetry::CounterAdd(telemetry::CounterId::kServerBatches);
+      telemetry::CounterAdd(telemetry::CounterId::kServerBatchOps, n);
+
+      // Group prefetch: issue every point op's predicted-leaf prefetch
+      // before resolving any of them, so the batch's memory latencies
+      // overlap instead of serializing (pointless for a batch of one).
+      if constexpr (PrefetchableIndex<Engine>) {
+        if (n > 1) {
+          for (size_t i = 0; i < n; ++i) {
+            if (batch[i].op != ReqOp::kScan) {
+              engine.PrefetchLookup(batch[i].key);
+            }
+          }
+        }
+      }
+
+      for (size_t i = 0; i < n; ++i) ExecuteOne(engine, batch[i]);
+    }
+  }
+
+  void ExecuteOne(Engine& engine, Req& req) {
+    const bool sampled = req.enqueue_ns != 0;
+    uint64_t exec_start = 0;
+    if (sampled) {
+      exec_start = telemetry::NowNs();
+      detail::RecordServerPhase(telemetry::Phase::kShardQueueWait,
+                                exec_start - req.enqueue_ns);
+    }
+    Slot* slot = req.slot;
+    switch (req.op) {
+      case ReqOp::kLookup: {
+        auto result = engine.Lookup(req.key);
+        slot->found = result.has_value();
+        if (result) slot->value = *result;
+        slot->ok = slot->found;
+        break;
+      }
+      case ReqOp::kInsert:
+        slot->ok = engine.Insert(req.key, req.value);
+        if (slot->ok) size_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ReqOp::kUpdate:
+        slot->ok = engine.Update(req.key, req.value);
+        break;
+      case ReqOp::kDelete:
+        slot->ok = engine.Delete(req.key);
+        if (slot->ok) size_.fetch_sub(1, std::memory_order_relaxed);
+        break;
+      case ReqOp::kScan: {
+        if (slot->scan_out != nullptr) {
+          auto* out = slot->scan_out;
+          slot->count = engine.ScanRange(
+              req.key, req.hi,
+              [out](const Key& k, const Payload& v) { out->emplace_back(k, v); });
+        } else {
+          slot->count = engine.ScanRange(req.key, req.hi,
+                                         [](const Key&, const Payload&) {});
+        }
+        slot->ok = true;
+        break;
+      }
+    }
+    if (sampled) {
+      const uint64_t now = telemetry::NowNs();
+      detail::RecordServerPhase(telemetry::Phase::kShardExec,
+                                now - exec_start);
+      telemetry::RecordDuration(telemetry::Engine::kServer,
+                                detail::OpFor(req.op), now - req.enqueue_ns);
+    }
+    slot->Publish();
+  }
+
+  Config config_;
+  ShardRouter<Key> router_;
+  std::unique_ptr<Shard[]> shards_;
+  size_t shard_count_ = 0;
+  std::atomic<size_t> size_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace fitree::server
+
+#endif  // FITREE_SERVER_SHARDED_INDEX_H_

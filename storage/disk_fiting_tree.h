@@ -39,6 +39,7 @@
 
 #include "btree/btree_map.h"
 #include "common/io_stats.h"
+#include "common/options.h"
 #include "common/prefetch.h"
 #include "core/fiting_tree.h"
 #include "core/flat_directory.h"
@@ -57,6 +58,12 @@ namespace fitree::storage {
 template <typename K>
 class DiskFitingTree {
  public:
+  using Key = K;
+  // Leaf payloads are serialized as 64-bit words (storage/segment_file.h),
+  // so the payload type is fixed; the alias is what the IndexApi contract
+  // and the Insert/Update signatures below spell it with.
+  using Payload = uint64_t;
+
   struct Options {
     // Buffer-pool capacity in pages; 1.0 * leaf pages means the whole
     // data file fits (plus the handful of non-leaf pages never cached).
@@ -97,7 +104,9 @@ class DiskFitingTree {
   uint64_t Compactions() const { return compactions_; }
 
   // True once any page read has failed verification; results after that
-  // point are best-effort (lookups report "absent").
+  // point are best-effort (lookups report "absent"). Reads are const per
+  // the IndexApi contract, so the flag is mutable: a failed page fault
+  // inside a const Lookup/ScanRange still has to record itself.
   bool io_error() const { return io_error_; }
 
   // In-memory index footprint: directory plus segment table plus the delta
@@ -119,7 +128,7 @@ class DiskFitingTree {
   // Rank of the first key >= `key` in the BASE FILE (insertion point over
   // the paged keys; the delta overlay has no ranks until Compact folds it
   // in). Every candidate page is faulted through the buffer pool.
-  size_t LowerBound(const K& key) {
+  size_t LowerBound(const K& key) const {
     return LowerBoundAt(FloorSlot(key), key);
   }
 
@@ -127,7 +136,7 @@ class DiskFitingTree {
   // overrides the file: a tombstone hides the paged key, a live entry
   // supersedes (or precedes) it. One directory descent serves the delta
   // probe and the paged search.
-  std::optional<uint64_t> Lookup(const K& key) {
+  std::optional<uint64_t> Lookup(const K& key) const {
     telemetry::ScopedOp telem(telemetry::Engine::kDisk,
                               telemetry::Op::kLookup);
     const size_t floor = FloorSlot(key);
@@ -145,12 +154,20 @@ class DiskFitingTree {
     return BaseLookupAt(floor, key);
   }
 
-  bool Contains(const K& key) { return Lookup(key).has_value(); }
+  bool Contains(const K& key) const { return Lookup(key).has_value(); }
+
+  // Prefetch the delta-overlay slot's floor frame position a Lookup(key)
+  // would search, when that page is already resident (a miss is the buffer
+  // pool's business, not a hint's). Server batches use this for group
+  // prefetch across drained probes (server/sharded_index.h).
+  void PrefetchLookup(const K& key) const {
+    PrefetchPredictedFrame(FloorSlot(key), key);
+  }
 
   // Inserts `key` -> `value` into the delta overlay. Returns true iff the
   // key was new (set semantics); inserting a key present in the base file
   // or overlay returns false without touching anything.
-  bool Insert(const K& key, uint64_t value) {
+  bool Insert(const K& key, const Payload& value) {
     telemetry::ScopedOp telem(telemetry::Engine::kDisk,
                               telemetry::Op::kInsert);
     DeltaMap& delta = DeltaFor(key);
@@ -171,7 +188,7 @@ class DiskFitingTree {
 
   // Replaces the payload of a present key (a paged key gets a live
   // override in the overlay). Returns false when absent.
-  bool Update(const K& key, uint64_t value) {
+  bool Update(const K& key, const Payload& value) {
     telemetry::ScopedOp telem(telemetry::Engine::kDisk,
                               telemetry::Op::kUpdate);
     DeltaMap& delta = DeltaFor(key);
@@ -218,7 +235,7 @@ class DiskFitingTree {
   // Counted as a disk/scan (RangeCount and Compact's full sweep therefore
   // each register one scan — they are real paged scans).
   template <typename Fn>
-  size_t ScanRange(const K& lo, const K& hi, Fn fn) {
+  size_t ScanRange(const K& lo, const K& hi, Fn fn) const {
     telemetry::ScopedOp telem(telemetry::Engine::kDisk,
                               telemetry::Op::kScan);
     if (hi < lo) return 0;
@@ -263,7 +280,7 @@ class DiskFitingTree {
   }
 
   // Number of live keys in [lo, hi] via a counting scan.
-  size_t RangeCount(const K& lo, const K& hi) {
+  size_t RangeCount(const K& lo, const K& hi) const {
     return ScanRange(lo, hi, [](const K&, uint64_t) {});
   }
 
@@ -455,7 +472,7 @@ class DiskFitingTree {
     typename DeltaMap::const_iterator it;
   };
 
-  DeltaCursor DeltaCursorAt(const K& lo) {
+  DeltaCursor DeltaCursorAt(const K& lo) const {
     DeltaCursor c;
     c.slot = DeltaSlot(lo);
     c.it = deltas_[c.slot].lower_bound(lo);
@@ -463,7 +480,7 @@ class DiskFitingTree {
     return c;
   }
 
-  void SkipEmptySlots(DeltaCursor* c) {
+  void SkipEmptySlots(DeltaCursor* c) const {
     while (c->it == deltas_[c->slot].end() && c->slot + 1 < deltas_.size()) {
       ++c->slot;
       c->it = deltas_[c->slot].begin();
@@ -474,7 +491,7 @@ class DiskFitingTree {
     return c.it == deltas_[c.slot].end() ? nullptr : &*c.it;
   }
 
-  void AdvanceDelta(DeltaCursor* c) {
+  void AdvanceDelta(DeltaCursor* c) const {
     ++c->it;
     SkipEmptySlots(c);
   }
@@ -483,7 +500,7 @@ class DiskFitingTree {
   // (no bound when nullopt), skipping tombstones; returns the emit count.
   template <typename Fn>
   size_t DrainDelta(DeltaCursor* c, std::optional<K> before, const K& hi,
-                    Fn& fn) {
+                    Fn& fn) const {
     size_t emitted = 0;
     for (const auto* e = PeekDelta(*c);
          e != nullptr && e->first <= hi &&
@@ -500,7 +517,7 @@ class DiskFitingTree {
 
   // Lower bound of `key` over the base file, descending from an
   // already-resolved directory floor.
-  size_t LowerBoundAt(size_t floor, const K& key) {
+  size_t LowerBoundAt(size_t floor, const K& key) const {
     if (base_size() == 0) return 0;
     if (floor == kNoSlot) return 0;  // key sorts before every indexed key
     const PackedSegment<K>& seg = segments_[floor];
@@ -512,11 +529,11 @@ class DiskFitingTree {
   }
 
   // Paged lookup, delta overlay excluded.
-  std::optional<uint64_t> BaseLookup(const K& key) {
+  std::optional<uint64_t> BaseLookup(const K& key) const {
     return BaseLookupAt(FloorSlot(key), key);
   }
 
-  std::optional<uint64_t> BaseLookupAt(size_t floor, const K& key) {
+  std::optional<uint64_t> BaseLookupAt(size_t floor, const K& key) const {
     if (base_size() == 0) return std::nullopt;
     const size_t rank = LowerBoundAt(floor, key);
     if (rank >= base_size()) return std::nullopt;
@@ -525,7 +542,7 @@ class DiskFitingTree {
     return entry->value;
   }
 
-  std::optional<LeafEntry<K>> EntryAt(size_t rank) {
+  std::optional<LeafEntry<K>> EntryAt(size_t rank) const {
     const size_t cap = reader_.meta().leaf_capacity;
     PinnedPage pin(pool_.get(), reader_.LeafPageId(rank / cap));
     if (!pin) {
@@ -539,7 +556,7 @@ class DiskFitingTree {
   // Lower bound of `key` over ranks [begin, end), searching page by page:
   // a window of w ranks touches at most w / leaf_capacity + 1 pages, and
   // pages before the answer are dismissed by one key comparison each.
-  size_t WindowLowerBound(size_t begin, size_t end, const K& key) {
+  size_t WindowLowerBound(size_t begin, size_t end, const K& key) const {
     // Self time here is pure compute: the page faults this search triggers
     // are nested page_io spans (buffer_pool.h) and subtract out.
     telemetry::ScopedPhase phase(telemetry::Engine::kDisk,
@@ -601,7 +618,7 @@ class DiskFitingTree {
   uint64_t compactions_ = 0;
   uint64_t last_compact_ns_ = 0;          // most recent Compact() duration
   uint64_t compact_pages_rewritten_ = 0;  // cumulative across compactions
-  bool io_error_ = false;
+  mutable bool io_error_ = false;  // set by const reads on failed faults
 };
 
 }  // namespace fitree::storage

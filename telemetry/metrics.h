@@ -33,10 +33,14 @@ inline constexpr bool kEnabled =
     true;
 #endif
 
-// The four engines the instrumentation distinguishes. The mutex baseline
-// delegates to the buffered FitingTree, so its traffic lands on kBuffered.
-enum class Engine : uint8_t { kStatic, kBuffered, kConcurrent, kDisk };
-inline constexpr size_t kNumEngines = 4;
+// The four engines the instrumentation distinguishes, plus the sharded
+// server front-end (server/sharded_index.h), whose rows measure the
+// request path — enqueue to response-publish — on top of whatever engine
+// the shards run. The mutex baseline delegates to the buffered FitingTree,
+// so its traffic lands on kBuffered.
+enum class Engine : uint8_t { kStatic, kBuffered, kConcurrent, kDisk,
+                              kServer };
+inline constexpr size_t kNumEngines = 5;
 
 inline constexpr const char* EngineName(Engine e) {
   switch (e) {
@@ -44,6 +48,7 @@ inline constexpr const char* EngineName(Engine e) {
     case Engine::kBuffered: return "buffered";
     case Engine::kConcurrent: return "concurrent";
     case Engine::kDisk: return "disk";
+    case Engine::kServer: return "server";
   }
   return "?";
 }
@@ -90,8 +95,11 @@ enum class CounterId : uint8_t {
   kMergesEnqueued,
   kMergesProcessed,
   kCompactPagesRewritten,
+  kServerBatches,        // batches drained by shard workers
+  kServerBatchOps,       // ops inside those batches (avg fill = ops/batches)
+  kServerEnqueueStalls,  // failed enqueue attempts (queue-full backpressure)
 };
-inline constexpr size_t kNumCounters = 9;
+inline constexpr size_t kNumCounters = 12;
 
 inline constexpr const char* CounterName(CounterId id) {
   switch (id) {
@@ -104,6 +112,9 @@ inline constexpr const char* CounterName(CounterId id) {
     case CounterId::kMergesEnqueued: return "merge_worker.enqueued";
     case CounterId::kMergesProcessed: return "merge_worker.processed";
     case CounterId::kCompactPagesRewritten: return "disk.compact_pages_rewritten";
+    case CounterId::kServerBatches: return "server.batches";
+    case CounterId::kServerBatchOps: return "server.batch_ops";
+    case CounterId::kServerEnqueueStalls: return "server.enqueue_stalls";
   }
   return "?";
 }

@@ -9,6 +9,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/options.h"
+
 #if defined(__linux__) && __has_include(<linux/perf_event.h>)
 #define FITREE_PERF_SUPPORTED 1
 #include <linux/perf_event.h>
@@ -20,11 +22,12 @@ namespace fitree::telemetry {
 
 namespace {
 
-bool PerfEnvEnabled() {
-  const char* raw = std::getenv("FITREE_PERF");
-  if (raw == nullptr || *raw == '\0') return true;  // default: attempt
-  return !(raw[0] == '0' && raw[1] == '\0');
-}
+// FITREE_PERF: unset -> attempt, "0" -> off. Read live at every PerfRegion
+// construction — NOT through the cached GlobalOptions() snapshot — because
+// the knob gates kernel fd acquisition per-region and long-lived processes
+// (and the unit tests) flip it at runtime. Options::perf carries the same
+// knob's startup value for config reporting.
+bool PerfEnvEnabled() { return GetEnvInt64("FITREE_PERF", 1) != 0; }
 
 #ifdef FITREE_PERF_SUPPORTED
 

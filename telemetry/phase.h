@@ -48,8 +48,15 @@ enum class Phase : uint8_t {
   kMergeResegment,    // buffer merge + shrinking-cone resegmentation
   kCompact,           // disk base-file rewrite absorbing the delta
   kEpochReclaim,      // epoch-based reclamation sweep
+  // Server request-path stages (server/sharded_index.h). These are
+  // recorded cross-thread — routing on the client, wait/exec on the shard
+  // worker — so the server records them straight into the phase grid for
+  // sampled requests instead of using thread-local ScopedPhase nesting.
+  kShardRoute,        // shard-boundary floor lookup on the client thread
+  kShardQueueWait,    // enqueue-to-dequeue time in the shard's op queue
+  kShardExec,         // engine call on the shard worker (probe + publish)
 };
-inline constexpr size_t kNumPhases = 8;
+inline constexpr size_t kNumPhases = 11;
 
 inline constexpr const char* PhaseName(Phase p) {
   switch (p) {
@@ -61,6 +68,9 @@ inline constexpr const char* PhaseName(Phase p) {
     case Phase::kMergeResegment: return "merge_resegment";
     case Phase::kCompact: return "compact";
     case Phase::kEpochReclaim: return "epoch_reclaim";
+    case Phase::kShardRoute: return "shard_route";
+    case Phase::kShardQueueWait: return "shard_queue_wait";
+    case Phase::kShardExec: return "shard_exec";
   }
   return "?";
 }

@@ -172,6 +172,13 @@ inline void RecordDuration(Engine, Op, uint64_t) {}
 inline uint64_t SamplePeriod() { return 0; }
 inline void SetSamplePeriodForTest(uint64_t) {}
 
+namespace detail {
+// Never samples: callers that gate explicit timing on the sampling
+// countdown (the server's cross-thread request stamps) compile their
+// timed branch away with the rest of the instrumentation.
+inline bool ShouldSample() { return false; }
+}  // namespace detail
+
 class ScopedOp {
  public:
   ScopedOp(Engine, Op) {}

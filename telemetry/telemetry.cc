@@ -13,6 +13,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/options.h"
 #include "telemetry/trace.h"
 
 namespace fitree::telemetry {
@@ -21,15 +22,6 @@ namespace fitree::telemetry {
 
 namespace {
 
-uint64_t ReadEnvU64(const char* name, uint64_t def, uint64_t min_value) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return def;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(raw, &end, 10);
-  if (end == raw) return def;
-  return std::max<uint64_t>(static_cast<uint64_t>(v), min_value);
-}
-
 std::atomic<uint64_t> g_sample_period{0};  // 0 == not yet initialised
 
 }  // namespace
@@ -37,7 +29,7 @@ std::atomic<uint64_t> g_sample_period{0};  // 0 == not yet initialised
 uint64_t SamplePeriod() {
   uint64_t p = g_sample_period.load(std::memory_order_relaxed);
   if (p == 0) {
-    p = ReadEnvU64("FITREE_TELEM_SAMPLE", 64, 1);
+    p = GlobalOptions().telemetry_sample;  // FITREE_TELEM_SAMPLE, >= 1
     g_sample_period.store(p, std::memory_order_relaxed);
   }
   return p;
@@ -81,9 +73,8 @@ struct TraceState {
 TraceState& State() {
   static TraceState* state = [] {
     auto* s = new TraceState();
-    s->enabled = ReadEnvU64("FITREE_TRACE", 0, 0) != 0;
-    s->ring_capacity =
-        static_cast<size_t>(ReadEnvU64("FITREE_TRACE_RING", 4096, 1));
+    s->enabled = GlobalOptions().trace;            // FITREE_TRACE
+    s->ring_capacity = GlobalOptions().trace_ring;  // FITREE_TRACE_RING
     return s;
   }();
   return *state;

@@ -1,0 +1,237 @@
+// ShardedIndex server tests: router boundary correctness, batched
+// dispatch semantics, the shared differential oracle (batch=1 vs batched
+// — same answers), multi-client stress under the partitioned oracle, and
+// the post-quiescence shard introspection surface.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/fiting_tree.h"
+#include "server/shard_router.h"
+#include "server/sharded_index.h"
+#include "tests/oracle.h"
+
+namespace {
+
+using fitree::FitingTree;
+using fitree::FitingTreeConfig;
+using fitree::server::OpQueue;
+using fitree::server::ShardedIndex;
+using fitree::server::ShardRouter;
+using fitree::testing::CrudOptions;
+using fitree::testing::MakeInitialLoad;
+using fitree::testing::MakePartitionedLoad;
+using fitree::testing::PropertyOps;
+using fitree::testing::RunCrudDifferential;
+using fitree::testing::RunPartitionedCrud;
+
+using Engine = FitingTree<int64_t>;
+using Server = ShardedIndex<Engine>;
+
+Server::Factory MakeFactory(double error = 32.0) {
+  return [error](const std::vector<int64_t>& keys,
+                 const std::vector<uint64_t>& values) {
+    return Engine::Create(keys, values, FitingTreeConfig{.error = error});
+  };
+}
+
+std::unique_ptr<Server> MakeServer(const std::vector<int64_t>& keys,
+                                   const std::vector<uint64_t>& values,
+                                   size_t shards, size_t batch) {
+  Server::Config config;
+  config.shards = shards;
+  config.batch = batch;
+  return Server::Create(keys, values, MakeFactory(), config);
+}
+
+// --- router ---------------------------------------------------------------
+
+TEST(ShardRouter, PartitionBoundariesAndRouting) {
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < 1000; ++i) keys.push_back(i * 10);
+  const auto boundaries = ShardRouter<int64_t>::Partition(keys, 4);
+  ASSERT_EQ(boundaries.size(), 4u);
+  EXPECT_EQ(boundaries[0], 0);      // keys[0]
+  EXPECT_EQ(boundaries[1], 2500);   // keys[250]
+  EXPECT_EQ(boundaries[2], 5000);   // keys[500]
+  EXPECT_EQ(boundaries[3], 7500);   // keys[750]
+
+  const auto router = ShardRouter<int64_t>::Create(boundaries);
+  EXPECT_EQ(router.shard_count(), 4u);
+  // Below the first boundary clamps to shard 0 (the left tail).
+  EXPECT_EQ(router.ShardOf(-100), 0u);
+  // Boundary keys belong to the shard they open.
+  EXPECT_EQ(router.ShardOf(0), 0u);
+  EXPECT_EQ(router.ShardOf(2500), 1u);
+  EXPECT_EQ(router.ShardOf(5000), 2u);
+  EXPECT_EQ(router.ShardOf(7500), 3u);
+  // Interior keys route to the owning range.
+  EXPECT_EQ(router.ShardOf(2499), 0u);
+  EXPECT_EQ(router.ShardOf(4999), 1u);
+  // Above every key still routes to the last shard.
+  EXPECT_EQ(router.ShardOf(1 << 30), 3u);
+}
+
+TEST(ShardRouter, DegenerateInputs) {
+  // Empty key set: one shard, everything routes to it.
+  const auto router =
+      ShardRouter<int64_t>::Create(ShardRouter<int64_t>::Partition({}, 8));
+  EXPECT_EQ(router.shard_count(), 1u);
+  EXPECT_EQ(router.ShardOf(-5), 0u);
+  EXPECT_EQ(router.ShardOf(12345), 0u);
+
+  // Fewer distinct keys than requested shards: shard count collapses to
+  // the distinct boundary count instead of minting duplicate boundaries.
+  const auto tiny = ShardRouter<int64_t>::Partition({1, 2}, 8);
+  EXPECT_LE(tiny.size(), 2u);
+}
+
+// --- op queue -------------------------------------------------------------
+
+TEST(OpQueueTest, FifoBatchDrain) {
+  OpQueue<int> queue(/*capacity=*/8);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(queue.Push(i), 0u);
+  int out[8];
+  // A batch drain returns everything available, in FIFO order.
+  ASSERT_EQ(queue.PopBatch(out, 8), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_TRUE(queue.Empty());
+  // The ring recycles: a second wrap-around works.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(queue.Push(100 + i), 0u);
+  ASSERT_EQ(queue.PopBatch(out, 3), 3u);
+  EXPECT_EQ(out[0], 100);
+  ASSERT_EQ(queue.PopBatch(out, 8), 5u);
+  EXPECT_EQ(out[4], 107);
+}
+
+// --- server basics --------------------------------------------------------
+
+TEST(ShardedIndexTest, PointOpsAndShardOwnership) {
+  std::vector<int64_t> keys;
+  std::vector<uint64_t> values;
+  for (int64_t i = 0; i < 4096; ++i) {
+    keys.push_back(i * 2);
+    values.push_back(static_cast<uint64_t>(i) * 7);
+  }
+  auto server = MakeServer(keys, values, /*shards=*/4, /*batch=*/32);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->shard_count(), 4u);
+  EXPECT_EQ(server->size(), keys.size());
+
+  for (int64_t i = 0; i < 4096; i += 97) {
+    EXPECT_EQ(server->Lookup(i * 2), std::optional<uint64_t>(
+                                         static_cast<uint64_t>(i) * 7));
+    EXPECT_FALSE(server->Lookup(i * 2 + 1).has_value());
+    EXPECT_TRUE(server->Contains(i * 2));
+  }
+  EXPECT_TRUE(server->Insert(4096 * 2, 42));
+  EXPECT_FALSE(server->Insert(4096 * 2, 43));  // duplicate
+  EXPECT_TRUE(server->Update(4096 * 2, 44));
+  EXPECT_EQ(server->Lookup(4096 * 2), std::optional<uint64_t>(44));
+  EXPECT_TRUE(server->Delete(4096 * 2));
+  EXPECT_FALSE(server->Delete(4096 * 2));
+  EXPECT_EQ(server->size(), keys.size());
+
+  // Post-quiescence: every key lives in exactly the shard the router names,
+  // and the per-shard engines partition the load completely.
+  size_t total = 0;
+  for (size_t s = 0; s < server->shard_count(); ++s) {
+    total += server->shard_engine(s).size();
+  }
+  EXPECT_EQ(total, keys.size());
+  for (int64_t i = 0; i < 4096; i += 51) {
+    const size_t shard = server->ShardOf(i * 2);
+    EXPECT_TRUE(server->shard_engine(shard).Contains(i * 2));
+  }
+}
+
+TEST(ShardedIndexTest, CrossShardScanIsSortedAndComplete) {
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < 10000; ++i) keys.push_back(i);
+  auto server = MakeServer(keys, {}, /*shards=*/5, /*batch=*/16);
+  ASSERT_NE(server, nullptr);
+
+  // A scan spanning every shard returns the whole sorted range once.
+  std::vector<int64_t> got;
+  const size_t count = server->ScanRange(
+      100, 9900, [&](const int64_t& k, const uint64_t&) { got.push_back(k); });
+  EXPECT_EQ(count, got.size());
+  ASSERT_EQ(got.size(), 9801u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], static_cast<int64_t>(100 + i));
+  }
+  // Single-shard and empty intervals.
+  EXPECT_EQ(server->ScanRange(5, 10, [](const int64_t&, const uint64_t&) {}),
+            6u);
+  EXPECT_EQ(server->ScanRange(10, 5, [](const int64_t&, const uint64_t&) {}),
+            0u);
+}
+
+// --- differential oracle: batched and unbatched give the same answers -----
+
+CrudOptions ServerOpts(uint64_t seed) {
+  CrudOptions opt;
+  opt.seed = seed;
+  opt.ops = PropertyOps(8000);
+  opt.key_space = 8000;
+  return opt;
+}
+
+void RunServerDifferential(size_t shards, size_t batch, uint64_t seed) {
+  CrudOptions opt = ServerOpts(seed);
+  std::vector<int64_t> keys;
+  std::vector<uint64_t> values;
+  std::map<int64_t, uint64_t> oracle;
+  MakeInitialLoad(opt, /*load_every=*/4, &keys, &values, &oracle);
+  auto server = MakeServer(keys, values, shards, batch);
+  ASSERT_NE(server, nullptr);
+  ASSERT_NO_FATAL_FAILURE(RunCrudDifferential(*server, oracle, opt));
+}
+
+TEST(ShardedIndexTest, CrudPropertyUnbatched) {
+  RunServerDifferential(/*shards=*/4, /*batch=*/1, /*seed=*/21);
+}
+
+TEST(ShardedIndexTest, CrudPropertyBatched) {
+  RunServerDifferential(/*shards=*/4, /*batch=*/32, /*seed=*/21);
+}
+
+TEST(ShardedIndexTest, CrudPropertySingleShard) {
+  RunServerDifferential(/*shards=*/1, /*batch=*/8, /*seed=*/22);
+}
+
+// --- multi-client stress (the TSan target) --------------------------------
+
+TEST(ShardedIndexTest, CrudPropertyMultiClient) {
+  constexpr int kClients = 4;
+  CrudOptions opt;
+  opt.seed = 31;
+  opt.ops = PropertyOps(5000);
+  opt.key_space = 4000;
+  std::vector<int64_t> keys;
+  std::vector<uint64_t> values;
+  std::vector<std::map<int64_t, uint64_t>> oracles;
+  MakePartitionedLoad(opt, kClients, /*load_every=*/4, &keys, &values,
+                      &oracles);
+  auto server = MakeServer(keys, values, /*shards=*/4, /*batch=*/32);
+  ASSERT_NE(server, nullptr);
+  ASSERT_NO_FATAL_FAILURE(
+      RunPartitionedCrud(*server, kClients, opt, std::move(oracles)));
+
+  // The workers actually batched (multi-client traffic overlaps), and the
+  // stats surface reports a coherent picture.
+  const auto stats = server->Stats();
+  EXPECT_EQ(stats.engine, "server");
+  EXPECT_GT(stats.Get("batches"), 0.0);
+  EXPECT_GE(stats.Get("avg_batch"), 1.0);
+  EXPECT_EQ(stats.Get("shards"), 4.0);
+  EXPECT_EQ(static_cast<size_t>(stats.Get("keys")), server->size());
+}
+
+}  // namespace

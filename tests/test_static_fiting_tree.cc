@@ -124,11 +124,11 @@ TEST(StaticFitingTree, PayloadsDefaultToRankAndUpdateInPlace) {
   EXPECT_TRUE(tree->values().empty());
   EXPECT_EQ(tree->Lookup(keys[57]), std::optional<uint64_t>(57));
   EXPECT_EQ(tree->Lookup(keys.front() - 1), std::nullopt);
-  // UpdatePayload materializes ranks, then overrides one.
-  EXPECT_TRUE(tree->UpdatePayload(keys[57], 9999));
+  // Update materializes ranks, then overrides one.
+  EXPECT_TRUE(tree->Update(keys[57], 9999));
   EXPECT_EQ(tree->Lookup(keys[57]), std::optional<uint64_t>(9999));
   EXPECT_EQ(tree->Lookup(keys[58]), std::optional<uint64_t>(58));
-  EXPECT_FALSE(tree->UpdatePayload(keys.front() - 1, 1));
+  EXPECT_FALSE(tree->Update(keys.front() - 1, 1));
   EXPECT_EQ(tree->values().size(), keys.size());
 }
 
