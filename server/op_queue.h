@@ -12,11 +12,16 @@
 // Blocking is layered on top, not inside: the ring itself is lock-free.
 // The consumer parks on a condvar only after the queue goes empty
 // (WaitNonEmpty), and producers take the mutex only when the consumer has
-// declared itself sleeping. The sleeping_ flag uses seq_cst on both sides
-// so the producer's "is anyone asleep?" check cannot be reordered before
-// its enqueue becomes visible (the classic Dekker store/load pattern);
-// the consumer additionally bounds every park (~500us) so a missed wakeup
-// degrades to a bounded stall rather than a hang.
+// declared itself sleeping. The handshake is the classic Dekker
+// store/load pattern, which requires seq_cst *fences* between each side's
+// store and subsequent load (a release store followed by a seq_cst load
+// does not forbid StoreLoad reordering): the producer fences between
+// publishing its cell and reading sleeping_, the consumer fences between
+// setting sleeping_ and re-checking Empty(). Either the producer observes
+// sleeping_==true and notifies under the mutex, or the consumer's Empty()
+// check observes the published cell and skips the park. The consumer
+// additionally bounds every park (~500us), so even a defect in the
+// handshake could only cost a bounded stall, never liveness.
 //
 // Capacity is rounded up to a power of two; Push spins on a full ring
 // (backpressure) and reports the number of full-ring stalls so the server
@@ -34,6 +39,14 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#if defined(__SANITIZE_THREAD__)
+#define FITREE_OPQUEUE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FITREE_OPQUEUE_TSAN 1
+#endif
+#endif
 
 namespace fitree::server {
 
@@ -126,21 +139,28 @@ class OpQueue {
   }
 
   // Consumer: park until an item is (probably) available or `stop` turns
-  // true. The bounded wait is the safety net for the sleeping_ handshake:
-  // even a missed notify costs at most ~500us of latency, never liveness.
+  // true. The seq_cst fence pairs with WakeConsumer's: it keeps the
+  // Empty() load from moving before the sleeping_ store, the consumer
+  // half of the Dekker handshake (see file comment). The bounded wait is
+  // belt-and-suspenders on top: a missed notify costs at most ~500us of
+  // latency, never liveness.
   void WaitNonEmpty(const std::atomic<bool>& stop) {
     std::unique_lock<std::mutex> lock(mu_);
-    sleeping_.store(true, std::memory_order_seq_cst);
+    sleeping_.store(true, std::memory_order_relaxed);
+    SeqCstBarrier();
     if (Empty() && !stop.load(std::memory_order_acquire)) {
       cv_.wait_for(lock, std::chrono::microseconds(500));
     }
-    sleeping_.store(false, std::memory_order_seq_cst);
+    sleeping_.store(false, std::memory_order_relaxed);
   }
 
   // Producer: wake the consumer iff it declared itself parked. The seq_cst
-  // load orders after the enqueue's release store (see file comment).
+  // fence keeps the sleeping_ load from moving before the enqueue's
+  // release store to cell->seq — the producer half of the Dekker
+  // handshake (see file comment).
   void WakeConsumer() {
-    if (sleeping_.load(std::memory_order_seq_cst)) {
+    SeqCstBarrier();
+    if (sleeping_.load(std::memory_order_relaxed)) {
       std::lock_guard<std::mutex> lock(mu_);
       cv_.notify_one();
     }
@@ -154,6 +174,18 @@ class OpQueue {
   }
 
  private:
+  // StoreLoad barrier for the Dekker handshake. TSan does not model
+  // std::atomic_thread_fence (-Wtsan, and the race detector would not see
+  // the ordering it provides); under TSan a seq_cst RMW on a per-queue
+  // dummy gives equivalent ordering that the detector does track.
+  void SeqCstBarrier() {
+#if defined(FITREE_OPQUEUE_TSAN)
+    fence_dummy_.fetch_add(1, std::memory_order_seq_cst);
+#else
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+  }
+
   struct Cell {
     std::atomic<size_t> seq{0};
     T value{};
@@ -167,6 +199,9 @@ class OpQueue {
   alignas(64) std::mutex mu_;
   std::condition_variable cv_;
   std::atomic<bool> sleeping_{false};
+#if defined(FITREE_OPQUEUE_TSAN)
+  std::atomic<size_t> fence_dummy_{0};
+#endif
 };
 
 }  // namespace fitree::server

@@ -48,6 +48,7 @@
 #ifndef FITREE_SERVER_SHARDED_INDEX_H_
 #define FITREE_SERVER_SHARDED_INDEX_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -124,9 +125,11 @@ class ShardedIndex {
   };
 
   // `keys` sorted ascending; `values` parallel to `keys` or empty (engines
-  // default-fill). Shard i receives keys[i*n/s, (i+1)*n/s) — the same
-  // arithmetic ShardRouter::Partition uses for the boundaries, so slices
-  // and ownership ranges agree exactly.
+  // default-fill). The initial load is sliced by the router's *kept*
+  // boundaries: shard 0 starts at keys.begin(), shard i>0 at the first key
+  // >= boundary(i) — the same floor rule ShardOf applies at runtime. Slicing
+  // by position (i*n/shards) would disagree with routing whenever duplicate
+  // keys collapse boundaries and fewer shards materialize than requested.
   static std::unique_ptr<ShardedIndex> Create(const std::vector<Key>& keys,
                                               const std::vector<Payload>& values,
                                               Factory factory,
@@ -142,18 +145,27 @@ class ShardedIndex {
     server->shards_ = std::make_unique<Shard[]>(shards);
     server->shard_count_ = shards;
     const size_t n = keys.size();
+    std::vector<size_t> cuts(shards + 1);
+    cuts[0] = 0;
+    cuts[shards] = n;
+    for (size_t i = 1; i < shards; ++i) {
+      cuts[i] = static_cast<size_t>(
+          std::lower_bound(keys.begin(), keys.end(),
+                           server->router_.boundary(i)) -
+          keys.begin());
+    }
     for (size_t i = 0; i < shards; ++i) {
-      const size_t lo = i * n / shards;
-      const size_t hi = (i + 1) * n / shards;
+      const size_t lo = cuts[i];
+      const size_t hi = cuts[i + 1];
       std::vector<Key> shard_keys(keys.begin() + lo, keys.begin() + hi);
       std::vector<Payload> shard_values;
       if (!values.empty()) {
         shard_values.assign(values.begin() + lo, values.begin() + hi);
       }
       Shard& shard = server->shards_[i];
+      shard.queue = std::make_unique<OpQueue<Req>>(config.queue_capacity);
       shard.engine = factory(shard_keys, shard_values);
       if (shard.engine == nullptr) return nullptr;
-      shard.queue = std::make_unique<OpQueue<Req>>(config.queue_capacity);
     }
     server->size_.store(n, std::memory_order_relaxed);
 
@@ -166,9 +178,13 @@ class ShardedIndex {
     return server;
   }
 
+  // Must tolerate the Create error path: if a factory returned nullptr,
+  // later shards' queues were never constructed and no workers started.
   ~ShardedIndex() {
     stop_.store(true, std::memory_order_release);
-    for (size_t i = 0; i < shard_count_; ++i) shards_[i].queue->WakeAll();
+    for (size_t i = 0; i < shard_count_; ++i) {
+      if (shards_[i].queue) shards_[i].queue->WakeAll();
+    }
     for (size_t i = 0; i < shard_count_; ++i) {
       if (shards_[i].worker.joinable()) shards_[i].worker.join();
     }
@@ -262,6 +278,10 @@ class ShardedIndex {
     return *shards_[shard].engine;
   }
 
+  // Post-quiescence use only, like shard_engine(): the per-shard
+  // engine->size() reads are plain loads that race with in-flight
+  // mutations, so call this only after the caller's own requests have
+  // completed and no other client is submitting.
   telemetry::StructuralStats Stats() const {
     telemetry::StructuralStats stats;
     stats.engine = "server";

@@ -34,6 +34,55 @@ using fitree::testing::RunPartitionedCrud;
 using Engine = FitingTree<int64_t>;
 using Server = ShardedIndex<Engine>;
 
+// Minimal std::map-backed engine modeling MutableIndexApi. The regression
+// tests below need an engine that tolerates duplicate keys in the initial
+// load (the real engines require duplicate-free input) and a factory that
+// can fail mid-load.
+class MapEngine {
+ public:
+  using Key = int64_t;
+  using Payload = uint64_t;
+
+  static std::unique_ptr<MapEngine> Create(
+      const std::vector<int64_t>& keys, const std::vector<uint64_t>& values) {
+    auto engine = std::make_unique<MapEngine>();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      engine->map_.emplace(keys[i], values.empty() ? 0 : values[i]);
+    }
+    return engine;
+  }
+
+  std::optional<uint64_t> Lookup(const int64_t& key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+  bool Contains(const int64_t& key) const { return map_.count(key) != 0; }
+  template <typename Fn>
+  size_t ScanRange(const int64_t& lo, const int64_t& hi, Fn fn) const {
+    size_t n = 0;
+    for (auto it = map_.lower_bound(lo); it != map_.end() && it->first <= hi;
+         ++it, ++n) {
+      fn(it->first, it->second);
+    }
+    return n;
+  }
+  size_t size() const { return map_.size(); }
+  bool Insert(const int64_t& key, const uint64_t& value) {
+    return map_.emplace(key, value).second;
+  }
+  bool Update(const int64_t& key, const uint64_t& value) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    it->second = value;
+    return true;
+  }
+  bool Delete(const int64_t& key) { return map_.erase(key) != 0; }
+
+ private:
+  std::map<int64_t, uint64_t> map_;
+};
+
 Server::Factory MakeFactory(double error = 32.0) {
   return [error](const std::vector<int64_t>& keys,
                  const std::vector<uint64_t>& values) {
@@ -171,6 +220,53 @@ TEST(ShardedIndexTest, CrossShardScanIsSortedAndComplete) {
             6u);
   EXPECT_EQ(server->ScanRange(10, 5, [](const int64_t&, const uint64_t&) {}),
             0u);
+}
+
+// Regression: duplicate keys collapse Partition boundaries, so fewer
+// shards materialize than requested. The initial-load slices must follow
+// the router's kept boundaries, not i*n/actual_shards — with positional
+// slicing, key 2 below lands in shard 1 but routes to shard 0, and
+// Lookup(2) silently misses.
+TEST(ShardedIndexTest, CollapsedBoundariesSliceByRouter) {
+  const std::vector<int64_t> keys = {1, 1, 1, 2, 3, 4};
+  ShardedIndex<MapEngine>::Config config;
+  config.shards = 3;
+  config.batch = 4;
+  auto server = ShardedIndex<MapEngine>::Create(
+      keys, {},
+      [](const std::vector<int64_t>& k, const std::vector<uint64_t>& v) {
+        return MapEngine::Create(k, v);
+      },
+      config);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->shard_count(), 2u);  // boundaries collapse to [1, 3]
+  for (int64_t key : {1, 2, 3, 4}) {
+    EXPECT_TRUE(server->Lookup(key).has_value()) << "key " << key;
+    EXPECT_TRUE(server->shard_engine(server->ShardOf(key)).Contains(key))
+        << "key " << key;
+  }
+  EXPECT_FALSE(server->Lookup(5).has_value());
+}
+
+// Regression: a factory returning nullptr mid-load must make Create
+// return nullptr and tear the half-built server down without touching the
+// not-yet-constructed shards' queues.
+TEST(ShardedIndexTest, FactoryFailureTearsDownCleanly) {
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < 64; ++i) keys.push_back(i);
+  size_t calls = 0;
+  ShardedIndex<MapEngine>::Config config;
+  config.shards = 4;
+  auto server = ShardedIndex<MapEngine>::Create(
+      keys, {},
+      [&calls](const std::vector<int64_t>& k,
+               const std::vector<uint64_t>& v) -> std::unique_ptr<MapEngine> {
+        if (++calls == 2) return nullptr;
+        return MapEngine::Create(k, v);
+      },
+      config);
+  EXPECT_EQ(server, nullptr);
+  EXPECT_EQ(calls, 2u);
 }
 
 // --- differential oracle: batched and unbatched give the same answers -----
