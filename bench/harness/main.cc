@@ -30,6 +30,7 @@ struct Options {
   std::string filter;
   int reps = 3;
   std::string json_path;
+  std::string baseline_path;
 };
 
 void PrintUsage(std::FILE* out) {
@@ -45,6 +46,9 @@ void PrintUsage(std::FILE* out) {
                "                  when N > 1)\n"
                "  --json=PATH     write all result records + environment\n"
                "                  metadata as JSON (schema: EXPERIMENTS.md)\n"
+               "  --baseline=PATH write the slim committed-baseline JSON:\n"
+               "                  only the fields tools/bench_diff.py\n"
+               "                  compares (experiment, params, ns_per_op)\n"
                "\n"
                "Scale and knobs come from FITREE_BENCH_* environment\n"
                "variables (see EXPERIMENTS.md).\n");
@@ -68,6 +72,8 @@ bool ParseArgs(int argc, char** argv, Options& options) {
       options.filter = v;
     } else if (const char* v = value_of("--json")) {
       options.json_path = v;
+    } else if (const char* v = value_of("--baseline")) {
+      options.baseline_path = v;
     } else if (const char* v = value_of("--reps")) {
       options.reps = std::atoi(v);
       if (options.reps < 1) {
@@ -124,6 +130,15 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  std::ofstream baseline_out;
+  if (!options.baseline_path.empty()) {
+    baseline_out.open(options.baseline_path);
+    if (!baseline_out) {
+      std::fprintf(stderr, "fitree_bench: cannot write %s\n",
+                   options.baseline_path.c_str());
+      return 1;
+    }
+  }
 
   std::vector<ResultRecord> all_records;
   for (const auto* e : matched) {
@@ -150,6 +165,17 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", options.json_path.c_str());
+  }
+  if (baseline_out.is_open()) {
+    const auto doc = fitree::bench::MakeBaselineDocument(
+        fitree::bench::CaptureEnvironment(), options.reps, all_records);
+    baseline_out << doc.Dump(2);
+    if (!baseline_out) {
+      std::fprintf(stderr, "fitree_bench: failed writing %s\n",
+                   options.baseline_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (baseline)\n", options.baseline_path.c_str());
   }
   return 0;
 }

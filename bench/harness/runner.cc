@@ -606,4 +606,24 @@ Json MakeResultsDocument(const Json& environment, int reps,
   return doc;
 }
 
+Json MakeBaselineDocument(const Json& environment, int reps,
+                          const std::vector<ResultRecord>& records) {
+  Json doc = Json::Object();
+  doc.Set("schema_version", Json(1));
+  doc.Set("environment", environment);
+  doc.Set("reps", Json(reps));
+  Json results = Json::Array();
+  for (const ResultRecord& r : records) {
+    Json j = Json::Object();
+    j.Set("experiment", Json(r.experiment));
+    Json params = Json::Object();
+    for (const auto& [k, v] : r.params) params.Set(k, Json(v));
+    j.Set("params", std::move(params));
+    if (r.ns_per_op.valid()) j.Set("ns_per_op", StatsToJson(r.ns_per_op));
+    results.Push(std::move(j));
+  }
+  doc.Set("results", std::move(results));
+  return doc;
+}
+
 }  // namespace fitree::bench

@@ -223,6 +223,15 @@ Json TelemetryToJson();
 Json MakeResultsDocument(const Json& environment, int reps,
                          const std::vector<ResultRecord>& records);
 
+// Assembles the slim committed-baseline document: only what the
+// tools/bench_diff.py gate pairs and compares — experiment, params, and
+// the ns_per_op statistics — plus the environment header for provenance.
+// No metrics, no perf block, no telemetry snapshot: those made the
+// committed baseline balloon by three orders of magnitude (a full trace
+// dump alone is tens of MB) while never participating in the diff.
+Json MakeBaselineDocument(const Json& environment, int reps,
+                          const std::vector<ResultRecord>& records);
+
 }  // namespace fitree::bench
 
 #endif  // FITREE_BENCH_HARNESS_RUNNER_H_

@@ -15,6 +15,13 @@
 //   FITREE_PERF           0 disables perf_event PMU capture     (attempt)
 //   FITREE_SHARDS         server shard count, >= 1              (4)
 //   FITREE_BATCH          server per-shard drain batch, >= 1    (32)
+//   FITREE_IO_BACKEND     auto | uring | threads | sync         (auto)
+//   FITREE_IO_DEPTH       batched-read queue depth, [1, 1024]   (64)
+//   FITREE_IO_DIRECT      0 | 1 attempt O_DIRECT reads          (0)
+//   FITREE_FETCH_STRATEGY single | window                       (single)
+//   FITREE_COMPACT_THRESHOLD  per-segment delta occupancy (%)
+//                         that triggers incremental compaction;
+//                         0 disables the automatic trigger      (0)
 //
 // Bench-harness knobs (FITREE_BENCH_*) stay in bench/ — they size
 // workloads, not the engines.
@@ -24,12 +31,58 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "common/env.h"
 #include "core/flat_directory.h"
 #include "core/search_policy.h"
 
 namespace fitree {
+
+// How the storage layer executes a batch of page reads
+// (storage/async_io.h): io_uring when the kernel grants it, a pread
+// thread pool otherwise, or strictly synchronous preads. kAuto probes
+// io_uring once and falls back to the thread pool.
+enum class IoBackend : uint8_t { kAuto, kUring, kThreads, kSync };
+
+inline std::optional<IoBackend> ParseIoBackend(std::string_view s) {
+  if (s == "auto") return IoBackend::kAuto;
+  if (s == "uring") return IoBackend::kUring;
+  if (s == "threads") return IoBackend::kThreads;
+  if (s == "sync") return IoBackend::kSync;
+  return std::nullopt;
+}
+
+inline constexpr const char* IoBackendName(IoBackend b) {
+  switch (b) {
+    case IoBackend::kAuto: return "auto";
+    case IoBackend::kUring: return "uring";
+    case IoBackend::kThreads: return "threads";
+    case IoBackend::kSync: return "sync";
+  }
+  return "?";
+}
+
+// Disk-lookup paging policy: kSingle demand-faults pages one at a time as
+// the window search walks them; kWindow speculatively batch-fetches every
+// page the error window can touch before searching, so a window that
+// straddles page boundaries overlaps its faults.
+enum class FetchStrategy : uint8_t { kSingle, kWindow };
+
+inline std::optional<FetchStrategy> ParseFetchStrategy(std::string_view s) {
+  if (s == "single") return FetchStrategy::kSingle;
+  if (s == "window") return FetchStrategy::kWindow;
+  return std::nullopt;
+}
+
+inline constexpr const char* FetchStrategyName(FetchStrategy f) {
+  switch (f) {
+    case FetchStrategy::kSingle: return "single";
+    case FetchStrategy::kWindow: return "window";
+  }
+  return "?";
+}
 
 struct Options {
   SearchPolicy search_policy = SearchPolicy::kSimd;
@@ -40,6 +93,11 @@ struct Options {
   bool perf = true;                // attempt perf_event PMU capture
   size_t shards = 4;               // server: shard / worker-thread count
   size_t batch = 32;               // server: max ops drained per batch
+  IoBackend io_backend = IoBackend::kAuto;  // batched page-read backend
+  size_t io_depth = 64;            // batched-read queue depth
+  bool io_direct = false;          // attempt O_DIRECT page reads
+  FetchStrategy fetch_strategy = FetchStrategy::kSingle;
+  size_t compact_threshold_pct = 0;  // 0 = no automatic incremental compact
 
   // Reads every knob from the environment, applying defaults and clamps.
   static Options FromEnvironment() {
@@ -59,6 +117,19 @@ struct Options {
     o.shards = shards < 1 ? 1u : static_cast<size_t>(shards);
     const int64_t batch = GetEnvInt64("FITREE_BATCH", 32);
     o.batch = batch < 1 ? 1u : static_cast<size_t>(batch);
+    o.io_backend = ParseIoBackend(GetEnvString("FITREE_IO_BACKEND", "auto"))
+                       .value_or(IoBackend::kAuto);
+    const int64_t depth = GetEnvInt64("FITREE_IO_DEPTH", 64);
+    o.io_depth = depth < 1 ? 1u
+                           : depth > 1024 ? 1024u : static_cast<size_t>(depth);
+    o.io_direct = GetEnvInt64("FITREE_IO_DIRECT", 0) != 0;
+    o.fetch_strategy =
+        ParseFetchStrategy(GetEnvString("FITREE_FETCH_STRATEGY", "single"))
+            .value_or(FetchStrategy::kSingle);
+    const int64_t compact = GetEnvInt64("FITREE_COMPACT_THRESHOLD", 0);
+    o.compact_threshold_pct =
+        compact < 0 ? 0u
+                    : compact > 10000 ? 10000u : static_cast<size_t>(compact);
     return o;
   }
 };

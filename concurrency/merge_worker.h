@@ -8,6 +8,12 @@
 // deliberately generic (void* items + a handler installed at Start) so this
 // header has no dependency on the tree type; deduplication is the
 // handler's job via the segment's own retired/pending flags.
+//
+// The disk tree's incremental compactor (storage/disk_fiting_tree.h)
+// reuses this enqueue/dedup/bounded-drain shape without the thread: the
+// disk engine is single-writer by contract, so a background worker would
+// race it. There the queue is a deduplicating set of segment first-keys
+// drained one segment per subsequent mutation on the owner thread.
 
 #ifndef FITREE_CONCURRENCY_MERGE_WORKER_H_
 #define FITREE_CONCURRENCY_MERGE_WORKER_H_

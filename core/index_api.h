@@ -84,6 +84,17 @@ concept PrefetchableIndex =
       index.PrefetchLookup(key);
     };
 
+// Stronger batched form (ISSUE 10): engines whose prefetch can overlap
+// real I/O — the disk tree stages a whole batch's candidate pages through
+// one batched read — expose PrefetchBatch(keys, n) const. The server
+// prefers it over per-key PrefetchLookup when draining a batch, so a
+// shard's page faults overlap instead of serializing.
+template <typename T>
+concept BatchPrefetchableIndex =
+    requires(const T& index, const typename T::Key* keys, size_t n) {
+      index.PrefetchBatch(keys, n);
+    };
+
 }  // namespace fitree
 
 #endif  // FITREE_CORE_INDEX_API_H_

@@ -139,11 +139,6 @@ class StaticFitingTree {
     return true;
   }
 
-  [[deprecated("renamed to Update (core/index_api.h contract)")]]
-  bool UpdatePayload(const K& key, uint64_t value) {
-    return Update(key, value);
-  }
-
   // Number of keys in [lo, hi]: two rank lookups, no scan.
   size_t RangeCount(const K& lo, const K& hi) const {
     if (hi < lo) return 0;

@@ -387,6 +387,9 @@ class ShardedIndex {
 #endif
     Engine& engine = *shard.engine;
     std::vector<Req> batch(config_.batch);
+    // Scratch for the batched group prefetch (point-op keys of one drain).
+    std::vector<typename Engine::Key> prefetch_keys;
+    prefetch_keys.reserve(config_.batch);
     for (;;) {
       size_t n = shard.queue->PopBatch(batch.data(), config_.batch);
       if (n == 0) {
@@ -415,7 +418,20 @@ class ShardedIndex {
       // Group prefetch: issue every point op's predicted-leaf prefetch
       // before resolving any of them, so the batch's memory latencies
       // overlap instead of serializing (pointless for a batch of one).
-      if constexpr (PrefetchableIndex<Engine>) {
+      // Engines with a batched form get the whole key group in one call —
+      // the disk tree turns that into a single batched page read, which
+      // is what lets a shard's batch overlap its page faults (ISSUE 10).
+      if constexpr (BatchPrefetchableIndex<Engine>) {
+        if (n > 1) {
+          prefetch_keys.clear();
+          for (size_t i = 0; i < n; ++i) {
+            if (batch[i].op != ReqOp::kScan) {
+              prefetch_keys.push_back(batch[i].key);
+            }
+          }
+          engine.PrefetchBatch(prefetch_keys.data(), prefetch_keys.size());
+        }
+      } else if constexpr (PrefetchableIndex<Engine>) {
         if (n > 1) {
           for (size_t i = 0; i < n; ++i) {
             if (batch[i].op != ReqOp::kScan) {

@@ -3,14 +3,21 @@
 // knob the disk benches sweep — frames * page_bytes is the fraction of the
 // file allowed to stay resident, and IoStats turns that into pages-read/op.
 //
+// FetchBatch is the async entry point (ISSUE 10): it classifies a whole
+// batch of pages first, assigns victim frames to every miss, and hands all
+// the misses to PageSource::ReadPagesInto in one call — so with a batched
+// source (io_uring / pread threads) the faults overlap instead of
+// serializing, while hits are pinned before any I/O starts.
+//
 // Single-threaded by design (matches the per-thread index instances the
-// bench layer uses); no dirty pages because the index file is immutable
-// after bulk load.
+// bench layer uses); no dirty pages because page writes go through the
+// append-and-republish path in segment_file.h, never through the pool.
+// Frames live in a kDirectIoAlignment-aligned arena so they are legal
+// O_DIRECT destinations.
 
 #ifndef FITREE_STORAGE_BUFFER_POOL_H_
 #define FITREE_STORAGE_BUFFER_POOL_H_
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
@@ -96,13 +103,111 @@ class BufferPool {
     return FrameData(victim);
   }
 
-  void Unpin(uint32_t page_id) {
+  // Pins every page of the batch, resolving all misses through ONE
+  // PageSource::ReadPagesInto call so a batched source overlaps the reads.
+  // out[i] receives the pinned frame (caller must Unpin page_ids[i]) or
+  // nullptr when that page could not be staged — read/verify failure, or
+  // more distinct misses than evictable frames. Duplicate ids in one batch
+  // share a frame and each take their own pin. Returns the number of
+  // non-null entries.
+  size_t FetchBatch(const uint32_t* page_ids, size_t n,
+                    const std::byte** out) {
+    if (n == 0) return 0;
+    struct Miss {
+      uint32_t page_id;
+      size_t frame;
+    };
+    std::vector<Miss> misses;
+    std::vector<size_t> frame_of(n, kNoFrame);
+    for (size_t i = 0; i < n; ++i) {
+      if (const auto it = map_.find(page_ids[i]); it != map_.end()) {
+        // Resident — or pre-installed by an earlier duplicate in this very
+        // batch (frame pending, read not issued yet): pin either way, the
+        // post-pass nulls pins on frames whose read then fails.
+        Frame& f = frames_[it->second];
+        ++f.pins;
+        f.referenced = true;
+        ++stats_.cache_hits;
+        telemetry::CounterAdd(telemetry::CounterId::kIoCacheHits);
+        frame_of[i] = it->second;
+        out[i] = FrameData(it->second);
+        continue;
+      }
+      ++stats_.cache_misses;
+      telemetry::CounterAdd(telemetry::CounterId::kIoCacheMisses);
+      const size_t victim = PickVictim();
+      if (victim == kNoFrame) {
+        out[i] = nullptr;  // staged part of the batch still proceeds
+        continue;
+      }
+      Frame& f = frames_[victim];
+      if (f.valid) map_.erase(f.page_id);
+      f.page_id = page_ids[i];
+      f.pins = 1;
+      f.referenced = true;
+      f.valid = false;  // pending until its read lands below
+      map_.emplace(page_ids[i], victim);
+      frame_of[i] = victim;
+      out[i] = FrameData(victim);
+      misses.push_back({page_ids[i], victim});
+    }
+
+    if (!misses.empty()) {
+      telemetry::ScopedPhase phase(telemetry::Engine::kDisk,
+                                   telemetry::Phase::kPageIoBatch);
+      telemetry::CounterAdd(telemetry::CounterId::kIoBatches);
+      telemetry::GaugeAdd(telemetry::GaugeId::kIoInflight,
+                          static_cast<int64_t>(misses.size()));
+      std::vector<PageReadRequest> reqs(misses.size());
+      for (size_t j = 0; j < misses.size(); ++j) {
+        reqs[j].page_id = misses[j].page_id;
+        reqs[j].out = FrameData(misses[j].frame);
+      }
+      source_->ReadPagesInto(reqs.data(), reqs.size());
+      telemetry::GaugeAdd(telemetry::GaugeId::kIoInflight,
+                          -static_cast<int64_t>(misses.size()));
+      for (size_t j = 0; j < misses.size(); ++j) {
+        Frame& f = frames_[misses[j].frame];
+        if (reqs[j].ok) {
+          f.valid = true;
+          ++stats_.pages_read;
+          stats_.bytes_read += page_bytes_;
+          telemetry::CounterAdd(telemetry::CounterId::kIoPagesRead);
+          telemetry::CounterAdd(telemetry::CounterId::kIoBytesRead,
+                                page_bytes_);
+        } else {
+          // Roll the pre-install back; duplicates that pinned this frame
+          // get nulled in the post-pass below.
+          map_.erase(f.page_id);
+          f.pins = 0;
+          f.referenced = false;
+          f.valid = false;
+        }
+      }
+    }
+
+    size_t staged = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (frame_of[i] != kNoFrame && !frames_[frame_of[i]].valid) {
+        out[i] = nullptr;
+      }
+      if (out[i] != nullptr) ++staged;
+    }
+    return staged;
+  }
+
+  // Drops one pin. Returns false — leaving all pool state untouched — when
+  // `page_id` is not resident or has no outstanding pin. Misuse is a hard
+  // error in every build type (ISSUE 10 satellite: the old assert-only
+  // guards vanished in release builds and let pin underflow corrupt the
+  // CLOCK state silently).
+  [[nodiscard]] bool Unpin(uint32_t page_id) {
     const auto it = map_.find(page_id);
-    assert(it != map_.end() && "Unpin of a non-resident page");
-    if (it == map_.end()) return;
+    if (it == map_.end()) return false;
     Frame& f = frames_[it->second];
-    assert(f.pins > 0 && "Unpin without a matching Fetch");
-    if (f.pins > 0) --f.pins;
+    if (f.pins == 0) return false;
+    --f.pins;
+    return true;
   }
 
  private:
@@ -127,7 +232,7 @@ class BufferPool {
       const size_t i = hand_;
       hand_ = (hand_ + 1) % frames_.size();
       Frame& f = frames_[i];
-      if (!f.valid) return i;
+      if (!f.valid && f.pins == 0) return i;
       if (f.pins > 0) continue;
       if (f.referenced) {
         f.referenced = false;
@@ -140,7 +245,7 @@ class BufferPool {
 
   PageSource* source_;
   size_t page_bytes_;
-  std::vector<std::byte> arena_;
+  AlignedBytes arena_;
   std::vector<Frame> frames_;
   std::unordered_map<uint32_t, size_t> map_;
   size_t hand_ = 0;
@@ -178,7 +283,7 @@ class PinnedPage {
 
  private:
   void Release() {
-    if (data_ != nullptr) pool_->Unpin(page_id_);
+    if (data_ != nullptr) (void)pool_->Unpin(page_id_);
     data_ = nullptr;
   }
 

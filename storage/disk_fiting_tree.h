@@ -6,6 +6,13 @@
 // key/payload pages stay on disk and are cached page-granularly, which is
 // exactly the regime the Sec 5 cost model charges in pages.
 //
+// Leaf addressing is per segment (format v2): segment i's leaves start at
+// its own first_leaf_page, so rank r maps to page
+// first_leaf_page + (r - start) / leaf_capacity. That indirection is what
+// lets CompactSegment rewrite ONE segment by appending its merged leaves
+// at EOF and republishing the table + meta (append-and-republish), while
+// every other segment's pages stay where they are.
+//
 // Writes never touch the file in place. Each base segment owns a small
 // in-memory delta — an ordered map of {key -> payload | tombstone} —
 // overlaid on the paged file: inserts and payload updates land there as
@@ -13,10 +20,25 @@
 // delta first (no I/O), then fall through to the paged lookup. Because a
 // key's delta segment is its directory floor, the per-segment deltas
 // concatenate into one globally sorted stream, which is what lets scans
-// merge the overlay with the rank-contiguous leaves page by page. An
-// explicit Compact() folds every delta back into a freshly serialized
-// file (WriteIndexFile convention) via an atomic temp-file rename, after
-// which the overlay is empty and reads are pure page I/O again.
+// merge the overlay with the leaves page by page. Two compaction forms
+// fold deltas back to disk:
+//
+//   Compact()         full rewrite: scan the merged view, re-segment,
+//                     write a temp file, fsync it, atomically rename it
+//                     over the original, fsync the directory, reopen.
+//   CompactSegment(s) incremental: merge ONE segment's leaves with its
+//                     overlay slot, re-segment locally, append the new
+//                     leaves + a new segment table at EOF, fsync, then
+//                     republish the meta (next generation, other slot)
+//                     and fsync again. Crash at any point leaves the
+//                     previous generation's meta valid and untouched.
+//
+// Incremental compactions are scheduled off the mutation path in the
+// merge_worker style — mutations enqueue (deduplicated) segments whose
+// overlay crossed FITREE_COMPACT_THRESHOLD percent of their length, and
+// each mutation call drains at most one pending segment — except that the
+// drain runs on the OWNER thread, because this engine is single-threaded
+// by contract (a background thread would race every read).
 //
 // The lookup shares core::ErrorWindow with StaticFitingTree::Bound, so a
 // serialized tree answers every query identically to its in-memory
@@ -29,10 +51,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -55,6 +80,21 @@
 
 namespace fitree::storage {
 
+// Crash-point instrumentation for the compaction paths: the hook fires
+// after the named step completes, and a test that kill-9s the process at
+// any point must find the index valid on reopen (the durability contract
+// EXPERIMENTS.md documents; exercised in tests/test_storage_faults.cc).
+enum class CompactPoint : uint8_t {
+  kTmpWritten,     // full rewrite: temp file written, NOT yet durable
+  kTmpSynced,      // full rewrite: temp fsynced, rename not yet issued
+  kRenamed,        // full rewrite: renamed over the original
+  kDirSynced,      // full rewrite: directory entry durable — complete
+  kAppendWritten,  // incremental: new pages appended, NOT yet durable
+  kAppendSynced,   // incremental: appended pages fsynced
+  kMetaWritten,    // incremental: next-generation meta written, not synced
+  kMetaSynced,     // incremental: republish durable — complete
+};
+
 template <typename K>
 class DiskFitingTree {
  public:
@@ -73,12 +113,43 @@ class DiskFitingTree {
     // flat unless overridden).
     SearchPolicy search_policy = DefaultSearchPolicy();
     DirectoryMode directory = DefaultDirectoryMode();
+    // Speculative fetch: kWindow stages every page the error window spans
+    // in one batched read before searching; kSingle faults serially
+    // (FITREE_FETCH_STRATEGY; the exp_disk ablation sweeps both).
+    FetchStrategy fetch_strategy = GlobalOptions().fetch_strategy;
+    // Incremental compaction trigger, percent of segment length; a
+    // segment whose overlay reaches max(8, length * pct / 100) entries is
+    // queued and drained one-per-mutation. 0 disables the automatic path
+    // (CompactSegment stays callable).
+    size_t compact_threshold_pct = GlobalOptions().compact_threshold_pct;
+    // Test hook, fired after each named compaction step (crash points).
+    std::function<void(CompactPoint)> compact_hook;
+    // Per-instance read-path overrides; default to the process-wide
+    // FITREE_IO_* knobs. `io_direct` lets a single tree attempt the
+    // O_DIRECT reopen (page-cache-free reads) while others stay buffered
+    // — the exp_disk multiget cells need both in one process.
+    IoBackend io_backend = GlobalOptions().io_backend;
+    size_t io_depth = GlobalOptions().io_depth;
+    bool io_direct = GlobalOptions().io_direct;
   };
 
   // Opens `path`, loads the meta page and segment table, and builds the
   // in-memory directory. Returns nullptr when the file fails validation.
+  // Crash leftovers from a full Compact are resolved first: an orphan
+  // `path.compact` next to a live target is removed; one WITHOUT a target
+  // (the rewrite completed but the swap did not) is adopted by rename.
   static std::unique_ptr<DiskFitingTree<K>> Open(const std::string& path,
                                                  const Options& options = {}) {
+    const std::string tmp = path + ".compact";
+    struct stat st {};
+    const bool have_tmp = ::stat(tmp.c_str(), &st) == 0;
+    if (have_tmp) {
+      if (::stat(path.c_str(), &st) == 0) {
+        std::remove(tmp.c_str());
+      } else if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        return nullptr;
+      }
+    }
     auto tree = std::unique_ptr<DiskFitingTree<K>>(new DiskFitingTree<K>());
     tree->path_ = path;
     tree->options_ = options;
@@ -102,6 +173,9 @@ class DiskFitingTree {
   // Pending overlay entries (live + tombstones) and completed compactions.
   size_t DeltaEntries() const { return delta_entries_; }
   uint64_t Compactions() const { return compactions_; }
+  uint64_t IncrementalCompactions() const { return incremental_compactions_; }
+  // Segments queued for incremental compaction but not yet drained.
+  size_t CompactPending() const { return compact_pending_.size(); }
 
   // True once any page read has failed verification; results after that
   // point are best-effort (lookups report "absent"). Reads are const per
@@ -117,7 +191,7 @@ class DiskFitingTree {
     constexpr size_t kDeltaNodeBytes =
         sizeof(K) + sizeof(DeltaEntry) + 4 * sizeof(void*);
     return directory_.MemoryBytes() +
-           segments_.size() * sizeof(PackedSegment<K>) +
+           segments_.size() * sizeof(SegmentRecord<K>) +
            delta_entries_ * kDeltaNodeBytes;
   }
   size_t CacheCapacityBytes() const { return pool_->CapacityBytes(); }
@@ -125,9 +199,13 @@ class DiskFitingTree {
   const IoStats& io() const { return pool_->stats(); }
   void ResetIoStats() { pool_->ResetStats(); }
 
+  // Batched-read backend actually serving this instance's page faults.
+  const char* IoBackendName() const { return reader_.io_backend_name(); }
+  bool DirectIo() const { return reader_.direct_io(); }
+
   // Rank of the first key >= `key` in the BASE FILE (insertion point over
-  // the paged keys; the delta overlay has no ranks until Compact folds it
-  // in). Every candidate page is faulted through the buffer pool.
+  // the paged keys; the delta overlay has no ranks until a compaction
+  // folds it in). Every candidate page is faulted through the buffer pool.
   size_t LowerBound(const K& key) const {
     return LowerBoundAt(FloorSlot(key), key);
   }
@@ -164,10 +242,42 @@ class DiskFitingTree {
     PrefetchPredictedFrame(FloorSlot(key), key);
   }
 
+  // Group prefetch for a drained batch: stages every key's candidate
+  // pages through batched reads (chunked to half the pool) and releases
+  // the pins — the pages stay resident, so the serial execution that
+  // follows hits instead of faulting one page at a time.
+  void PrefetchBatch(const K* keys, size_t n) const {
+    if (base_size() == 0) return;
+    std::vector<uint32_t> staged;
+    size_t i = 0;
+    while (i < n) {
+      i = StageChunk(keys, i, n, &staged);
+      UnpinAll(staged);
+    }
+  }
+
+  // Multi-get: resolves `n` independent lookups, overlapping each chunk's
+  // page faults in one batched read before the (now cache-hot) serial
+  // resolution. out[i] matches Lookup(keys[i]) exactly.
+  void LookupBatch(const K* keys, size_t n,
+                   std::optional<uint64_t>* out) const {
+    std::vector<uint32_t> staged;
+    size_t i = 0;
+    while (i < n) {
+      const size_t j =
+          base_size() == 0 ? n : StageChunk(keys, i, n, &staged);
+      for (size_t k = i; k < j; ++k) out[k] = Lookup(keys[k]);
+      UnpinAll(staged);
+      staged.clear();
+      i = j;
+    }
+  }
+
   // Inserts `key` -> `value` into the delta overlay. Returns true iff the
   // key was new (set semantics); inserting a key present in the base file
   // or overlay returns false without touching anything.
   bool Insert(const K& key, const Payload& value) {
+    DrainOneCompaction();
     telemetry::ScopedOp telem(telemetry::Engine::kDisk,
                               telemetry::Op::kInsert);
     DeltaMap& delta = DeltaFor(key);
@@ -183,12 +293,14 @@ class DiskFitingTree {
     delta.emplace(key, DeltaEntry{value, false});
     ++delta_entries_;
     ++size_;
+    MaybeScheduleCompaction(DeltaSlot(key));
     return true;
   }
 
   // Replaces the payload of a present key (a paged key gets a live
   // override in the overlay). Returns false when absent.
   bool Update(const K& key, const Payload& value) {
+    DrainOneCompaction();
     telemetry::ScopedOp telem(telemetry::Engine::kDisk,
                               telemetry::Op::kUpdate);
     DeltaMap& delta = DeltaFor(key);
@@ -201,12 +313,14 @@ class DiskFitingTree {
     if (!BaseLookup(key).has_value()) return false;
     delta.emplace(key, DeltaEntry{value, false});
     ++delta_entries_;
+    MaybeScheduleCompaction(DeltaSlot(key));
     return true;
   }
 
-  // Removes `key`. A paged key gets a tombstone (cleared by Compact); an
-  // overlay-only key is dropped outright. Returns false when absent.
+  // Removes `key`. A paged key gets a tombstone (cleared by compaction);
+  // an overlay-only key is dropped outright. Returns false when absent.
   bool Delete(const K& key) {
+    DrainOneCompaction();
     telemetry::ScopedOp telem(telemetry::Engine::kDisk,
                               telemetry::Op::kDelete);
     DeltaMap& delta = DeltaFor(key);
@@ -226,6 +340,7 @@ class DiskFitingTree {
     delta.emplace(key, DeltaEntry{0, true});
     ++delta_entries_;
     --size_;
+    MaybeScheduleCompaction(DeltaSlot(key));
     return true;
   }
 
@@ -244,17 +359,24 @@ class DiskFitingTree {
     const size_t base_n = base_size();
     const size_t cap = base_n > 0 ? reader_.meta().leaf_capacity : 1;
     size_t rank = base_n > 0 ? LowerBound(lo) : base_n;
+    size_t si = rank < base_n ? SegmentForRank(rank) : 0;
     while (rank < base_n) {
-      const uint64_t leaf = rank / cap;
-      PinnedPage pin(pool_.get(), reader_.LeafPageId(leaf));
+      while (rank >= SegEnd(segments_[si])) ++si;
+      const SegmentRecord<K>& rec = segments_[si];
+      const size_t local = rank - SegStart(rec);
+      const uint64_t leaf = local / cap;
+      PinnedPage pin(pool_.get(),
+                     static_cast<uint32_t>(rec.first_leaf_page + leaf));
       if (!pin) {
         io_error_ = true;
         return emitted;
       }
-      const size_t page_end = std::min(base_n, (leaf + 1) * cap);
+      const size_t page_end =
+          std::min(SegEnd(rec), SegStart(rec) + (leaf + 1) * cap);
       for (; rank < page_end; ++rank) {
         const auto entry = LoadAs<LeafEntry<K>>(
-            pin.data() + kPageHeaderBytes + (rank % cap) * sizeof(LeafEntry<K>));
+            pin.data() + kPageHeaderBytes +
+            ((rank - SegStart(rec)) % cap) * sizeof(LeafEntry<K>));
         if (hi < entry.key) {
           return emitted + DrainDelta(&cursor, entry.key, hi, fn);
         }
@@ -286,9 +408,10 @@ class DiskFitingTree {
 
   // Folds the delta overlay into a freshly serialized index file: scans
   // the merged view, re-segments it with the shrinking cone at the stored
-  // error bound, writes a temp file in the same page layout, atomically
-  // renames it over the original, and reopens. Returns false (leaving the
-  // original file and overlay untouched) if the rewrite fails.
+  // error bound, writes a temp file in the same page layout, fsyncs it,
+  // atomically renames it over the original, fsyncs the directory entry,
+  // and reopens. Returns false (leaving the original file and overlay
+  // untouched) if the rewrite fails.
   bool Compact() {
     // Compaction reporting: the ScopedDuration feeds the registry's
     // disk/compact count + histogram + trace record, cancelled on the
@@ -315,19 +438,39 @@ class DiskFitingTree {
       return false;
     }
     const double err = reader_.meta().error;
-    const SegmentFileOptions file_options{reader_.page_bytes()};
     const auto tree = StaticFitingTree<K>::Create(keys, values, err);
+    const auto table = tree->ExportSegmentTable();
     const std::string tmp = path_ + ".compact";
-    if (!WriteIndexFile(tmp, *tree, file_options)) {
-      std::remove(tmp.c_str());
-      telem.Cancel();
-      return false;
+    // Spelled out (not via WriteSegmentFile) so the written-but-not-
+    // durable crash point is observable between the page stream and the
+    // fsync.
+    {
+      FilePageSink sink(tmp);
+      const bool written =
+          sink.is_open() &&
+          WriteSegmentFilePages<K>(
+              sink, std::span<const K>(tree->data()),
+              std::span<const uint64_t>(tree->values()),
+              std::span<const PackedSegment<K>>(table), err,
+              reader_.page_bytes());
+      if (written) Hook(CompactPoint::kTmpWritten);
+      if (!written || !sink.Finish()) {
+        std::remove(tmp.c_str());
+        telem.Cancel();
+        return false;
+      }
     }
+    Hook(CompactPoint::kTmpSynced);
     if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
       std::remove(tmp.c_str());
       telem.Cancel();
       return false;
     }
+    Hook(CompactPoint::kRenamed);
+    // The rename itself already happened; a failed directory fsync only
+    // weakens durability of the swap, it cannot un-correct the data.
+    (void)SyncParentDir(path_);
+    Hook(CompactPoint::kDirSynced);
     if (!Load(path_)) {
       io_error_ = true;
       telem.Cancel();
@@ -342,6 +485,210 @@ class DiskFitingTree {
     compact_pages_rewritten_ += pages;
     telemetry::CounterAdd(telemetry::CounterId::kCompactPagesRewritten,
                           pages);
+    return true;
+  }
+
+  // Incremental compaction of one segment (append-and-republish): merges
+  // segment `slot`'s leaves with its overlay slot, re-segments the merged
+  // run locally, appends the new leaf pages and a new full segment table
+  // at EOF, fsyncs, then writes the next-generation meta into the other
+  // ping-pong slot and fsyncs again. No page referenced by the previous
+  // generation is touched, so a crash anywhere rolls back one generation.
+  // Returns false — with the file and all in-memory state unchanged — on
+  // any I/O failure, and also for an all-tombstone segment (that rare case
+  // needs the directory surgery only the full Compact performs).
+  bool CompactSegment(size_t slot) {
+    if (slot >= segments_.size() || base_size() == 0) return false;
+    telemetry::ScopedDuration telem(telemetry::Engine::kDisk,
+                                    telemetry::Op::kCompact);
+    telemetry::ScopedPhase phase(telemetry::Engine::kDisk,
+                                 telemetry::Phase::kCompact);
+    const SegmentRecord<K> rec = segments_[slot];
+    const size_t start = SegStart(rec);
+    const size_t len = static_cast<size_t>(rec.seg.length);
+    const size_t cap = reader_.meta().leaf_capacity;
+    const DeltaMap& overlay = deltas_[slot];
+    const size_t consumed = overlay.size();
+    compact_pending_.erase(rec.seg.first_key);
+
+    // 1. Merged view of this one segment: its paged entries + its overlay
+    // slot, tombstones dropped, overrides applied.
+    std::vector<K> keys;
+    std::vector<uint64_t> values;
+    keys.reserve(len + consumed);
+    values.reserve(len + consumed);
+    auto dit = overlay.begin();
+    const auto emit_overlay_below = [&](const K* bound) {
+      for (; dit != overlay.end() && (bound == nullptr || dit->first < *bound);
+           ++dit) {
+        if (!dit->second.tombstone) {
+          keys.push_back(dit->first);
+          values.push_back(dit->second.value);
+        }
+      }
+    };
+    const uint64_t old_pages = PagesForRecords(len, cap);
+    for (uint64_t p = 0; p < old_pages; ++p) {
+      PinnedPage pin(pool_.get(),
+                     static_cast<uint32_t>(rec.first_leaf_page + p));
+      if (!pin) {
+        io_error_ = true;
+        telem.Cancel();
+        return false;
+      }
+      const size_t begin = static_cast<size_t>(p) * cap;
+      const size_t end = std::min(len, begin + cap);
+      for (size_t local = begin; local < end; ++local) {
+        const auto entry = LoadAs<LeafEntry<K>>(
+            pin.data() + kPageHeaderBytes +
+            (local - begin) * sizeof(LeafEntry<K>));
+        emit_overlay_below(&entry.key);
+        if (dit != overlay.end() && dit->first == entry.key) {
+          if (!dit->second.tombstone) {  // payload override
+            keys.push_back(entry.key);
+            values.push_back(dit->second.value);
+          }
+          ++dit;
+        } else {
+          keys.push_back(entry.key);
+          values.push_back(entry.value);
+        }
+      }
+    }
+    emit_overlay_below(nullptr);
+    if (keys.empty()) {
+      telem.Cancel();
+      return false;
+    }
+
+    // 2. Local re-segmentation at the stored error bound, globalized into
+    // the segment's rank range [start, start + keys.size()): both start
+    // and intercept shift together because Predict() yields global ranks.
+    const SegmentFileMeta meta = reader_.meta();
+    const auto local_segs =
+        SegmentShrinkingCone<K>(std::span<const K>(keys), meta.error);
+    const int64_t d = static_cast<int64_t>(keys.size()) -
+                      static_cast<int64_t>(len);
+    std::vector<SegmentRecord<K>> records;
+    records.reserve(segments_.size() + local_segs.size() - 1);
+    for (size_t i = 0; i < slot; ++i) records.push_back(segments_[i]);
+    uint64_t next_page = meta.total_pages;  // appends start past EOF
+    for (const auto& ls : local_segs) {
+      Segment<K> g = ls;
+      g.start += start;
+      g.intercept += static_cast<double>(start);
+      records.push_back({g.Pack(), next_page});
+      next_page += PagesForRecords(g.length, cap);
+    }
+    const uint64_t appended_leaves = next_page - meta.total_pages;
+    for (size_t i = slot + 1; i < segments_.size(); ++i) {
+      SegmentRecord<K> r = segments_[i];
+      // Later ranks shift by d; their pages don't move (local addressing
+      // is start-relative, invariant under the shift).
+      r.seg.start = static_cast<uint64_t>(
+          static_cast<int64_t>(r.seg.start) + d);
+      r.seg.intercept += static_cast<double>(d);
+      records.push_back(r);
+    }
+
+    // 3. Append: new leaf pages, then the new full segment table.
+    SegmentFileUpdater up;
+    if (!up.Open(path_)) {
+      telem.Cancel();
+      return false;
+    }
+    std::vector<std::byte> page(meta.page_bytes, std::byte{0});
+    bool ok = true;
+    const auto emit = [&](PageType type, uint64_t page_id, uint32_t count) {
+      SealPage(page.data(), page.size(), type,
+               static_cast<uint32_t>(page_id), count);
+      ok = ok && up.WritePageAt(page_id, page.data(), page.size());
+      std::fill(page.begin(), page.end(), std::byte{0});
+    };
+    for (size_t s = 0; s < local_segs.size() && ok; ++s) {
+      const SegmentRecord<K>& nr = records[slot + s];
+      const size_t g_start = SegStart(nr);
+      const size_t g_len = static_cast<size_t>(nr.seg.length);
+      for (uint64_t p = 0; p < PagesForRecords(g_len, cap) && ok; ++p) {
+        const size_t begin = static_cast<size_t>(p) * cap;
+        const size_t end = std::min(g_len, begin + cap);
+        for (size_t l = begin; l < end; ++l) {
+          const size_t m = (g_start - start) + l;  // merged-array index
+          StoreAs(page.data() + kPageHeaderBytes +
+                      (l - begin) * sizeof(LeafEntry<K>),
+                  LeafEntry<K>{keys[m], values[m]});
+        }
+        emit(PageType::kLeaf, nr.first_leaf_page + p,
+             static_cast<uint32_t>(end - begin));
+      }
+    }
+    const uint64_t seg_cap = meta.segment_capacity;
+    const uint64_t seg_table_first = next_page;
+    const uint64_t seg_pages = PagesForRecords(records.size(), seg_cap);
+    for (uint64_t p = 0; p < seg_pages && ok; ++p) {
+      const size_t begin = static_cast<size_t>(p * seg_cap);
+      const size_t end =
+          std::min(records.size(), begin + static_cast<size_t>(seg_cap));
+      for (size_t i = begin; i < end; ++i) {
+        StoreAs(page.data() + kPageHeaderBytes +
+                    (i - begin) * sizeof(SegmentRecord<K>),
+                records[i]);
+      }
+      emit(PageType::kSegmentTable, seg_table_first + p,
+           static_cast<uint32_t>(end - begin));
+    }
+    if (!ok) {
+      telem.Cancel();
+      return false;
+    }
+    Hook(CompactPoint::kAppendWritten);
+    if (!up.Sync()) {
+      telem.Cancel();
+      return false;
+    }
+    Hook(CompactPoint::kAppendSynced);
+
+    // 4. Republish: next generation into the OTHER meta slot, fsynced
+    // after the appends are already durable.
+    SegmentFileMeta nm = meta;
+    nm.generation = meta.generation + 1;
+    nm.key_count = static_cast<uint64_t>(
+        static_cast<int64_t>(meta.key_count) + d);
+    nm.segment_count = records.size();
+    nm.seg_table_first_page = seg_table_first;
+    nm.segment_page_count = seg_pages;
+    nm.leaf_page_count =
+        meta.leaf_page_count - old_pages + appended_leaves;
+    nm.total_pages = seg_table_first + seg_pages;
+    StoreAs(page.data() + kPageHeaderBytes, nm);
+    emit(PageType::kMeta, nm.generation % kNumMetaSlots, 1);
+    if (ok) Hook(CompactPoint::kMetaWritten);
+    if (!ok || !up.Sync()) {
+      telem.Cancel();
+      return false;
+    }
+    Hook(CompactPoint::kMetaSynced);
+
+    // 5. Adopt the new generation in memory: the reader re-points at the
+    // republished meta (same fd — appends are visible to pread), the
+    // consumed overlay slot disappears, and surviving slots shift around
+    // the new segments.
+    reader_.set_meta(nm);
+    std::vector<DeltaMap> new_deltas(std::max<size_t>(1, records.size()));
+    for (size_t i = 0; i < segments_.size(); ++i) {
+      if (i == slot) continue;
+      new_deltas[i < slot ? i : i + local_segs.size() - 1] =
+          std::move(deltas_[i]);
+    }
+    deltas_ = std::move(new_deltas);
+    delta_entries_ -= consumed;
+    segments_ = std::move(records);
+    RebuildDirectory();
+    ++incremental_compactions_;
+    const uint64_t rewritten = appended_leaves + seg_pages + 1;
+    compact_pages_rewritten_ += rewritten;
+    telemetry::CounterAdd(telemetry::CounterId::kCompactPagesRewritten,
+                          rewritten);
     return true;
   }
 
@@ -376,6 +723,9 @@ class DiskFitingTree {
     st.Add("io_pages_read", static_cast<double>(io_stats.pages_read));
     st.Add("io_hit_rate", io_stats.HitRate());
     st.Add("compactions", static_cast<double>(compactions_));
+    st.Add("incremental_compactions",
+           static_cast<double>(incremental_compactions_));
+    st.Add("compact_pending", static_cast<double>(compact_pending_.size()));
     st.Add("last_compact_ns", static_cast<double>(last_compact_ns_));
     st.Add("compact_pages_rewritten",
            static_cast<double>(compact_pages_rewritten_));
@@ -396,32 +746,55 @@ class DiskFitingTree {
   };
   using DeltaMap = std::map<K, DeltaEntry>;
 
+  static size_t SegStart(const SegmentRecord<K>& r) {
+    return static_cast<size_t>(r.seg.start);
+  }
+  static size_t SegEnd(const SegmentRecord<K>& r) {
+    return static_cast<size_t>(r.seg.start + r.seg.length);
+  }
+
+  void Hook(CompactPoint p) {
+    if (options_.compact_hook) options_.compact_hook(p);
+  }
+
   // (Re)loads reader, pool, segment table, directory, and resets the
   // overlay. Compactions_ survives; everything else derives from the file.
   bool Load(const std::string& path) {
-    directory_ = btree::BTreeMap<K, uint32_t, 16, 16>();
-    if (!reader_.Open(path)) return false;
+    typename SegmentFileReader<K>::IoOptions io;
+    io.backend = options_.io_backend;
+    io.depth = options_.io_depth;
+    io.direct = options_.io_direct;
+    if (!reader_.Open(path, io)) return false;
     if (!reader_.ReadSegmentTable(&segments_)) return false;
     pool_ = std::make_unique<BufferPool>(
         &reader_, reader_.page_bytes(),
         std::max<size_t>(1, options_.cache_pages));
+    RebuildDirectory();
+    deltas_.assign(std::max<size_t>(1, segments_.size()), DeltaMap{});
+    compact_pending_.clear();
+    delta_entries_ = 0;
+    size_ = reader_.meta().key_count;
+    return true;
+  }
+
+  // Rebuilds both directory descent forms from segments_ (Load and every
+  // incremental republish — the table is small, this is off the hot path).
+  void RebuildDirectory() {
+    directory_ = btree::BTreeMap<K, uint32_t, 16, 16>();
     std::vector<std::pair<K, uint32_t>> entries;
     entries.reserve(segments_.size());
     std::vector<K> first_keys;
     first_keys.reserve(segments_.size());
     for (size_t i = 0; i < segments_.size(); ++i) {
-      entries.emplace_back(segments_[i].first_key, static_cast<uint32_t>(i));
-      first_keys.push_back(segments_[i].first_key);
+      entries.emplace_back(segments_[i].seg.first_key,
+                           static_cast<uint32_t>(i));
+      first_keys.push_back(segments_[i].seg.first_key);
     }
     directory_.BulkLoad(std::move(entries));
     // Segment ids are 0..n-1 in first-key order, so the flat floor index
-    // is itself the id. The directory only changes on Load/Compact, so the
-    // flat form can serve every descent when selected.
+    // is itself the id. The directory only changes on Load and on
+    // republish, so the flat form can serve every descent when selected.
     flat_index_.Reset(std::move(first_keys));
-    deltas_.assign(std::max<size_t>(1, segments_.size()), DeltaMap{});
-    delta_entries_ = 0;
-    size_ = reader_.meta().key_count;
-    return true;
   }
 
   // Directory floor of `key` in whichever descent form options_ selects,
@@ -436,6 +809,27 @@ class DiskFitingTree {
     return id == nullptr ? kNoSlot : static_cast<size_t>(*id);
   }
 
+  // Segment owning base rank `rank` (starts are contiguous from 0).
+  size_t SegmentForRank(size_t rank) const {
+    size_t lo = 0, hi = segments_.size();
+    while (lo + 1 < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (SegStart(segments_[mid]) <= rank) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // File-global leaf page holding base rank `rank` (v2 addressing).
+  uint32_t PageForRank(const SegmentRecord<K>& rec, size_t rank) const {
+    return static_cast<uint32_t>(
+        rec.first_leaf_page +
+        (rank - SegStart(rec)) / reader_.meta().leaf_capacity);
+  }
+
   // Overlay segment for `key`: its directory floor, else segment 0 (keys
   // below every first key, and the whole keyspace of an empty base file).
   size_t DeltaSlot(const K& key) const {
@@ -444,25 +838,106 @@ class DiskFitingTree {
   }
   DeltaMap& DeltaFor(const K& key) { return deltas_[DeltaSlot(key)]; }
 
+  // Queues `slot` for incremental compaction once its overlay crosses the
+  // threshold. Keyed by the segment's first key, not its index — indexes
+  // shift when an earlier republish splits a segment, first keys don't.
+  void MaybeScheduleCompaction(size_t slot) {
+    if (options_.compact_threshold_pct == 0 || base_size() == 0) return;
+    const SegmentRecord<K>& rec = segments_[slot];
+    const size_t threshold = std::max<size_t>(
+        8, static_cast<size_t>(rec.seg.length) *
+               options_.compact_threshold_pct / 100);
+    if (deltas_[slot].size() >= threshold) {
+      compact_pending_.insert(rec.seg.first_key);
+    }
+  }
+
+  // Drains at most ONE pending segment (merge_worker-style bounded drain,
+  // on the owner thread): called at the top of every mutation, so the
+  // compaction a mutation triggers runs at the start of the next one.
+  void DrainOneCompaction() {
+    if (compact_pending_.empty()) return;
+    const K key = *compact_pending_.begin();
+    compact_pending_.erase(compact_pending_.begin());
+    const size_t floor = FloorSlot(key);
+    (void)CompactSegment(floor == kNoSlot ? 0 : floor);
+  }
+
   // Prefetch the predicted rank's position in its resident pool frame (if
   // cached) so the line travels while the delta probe runs. A miss is left
   // alone — faulting a page is the buffer pool's decision, not a hint's.
   void PrefetchPredictedFrame(size_t floor, const K& key) const {
     if (floor == kNoSlot || base_size() == 0) return;
-    const PackedSegment<K>& seg = segments_[floor];
-    const size_t seg_start = static_cast<size_t>(seg.start);
-    const size_t seg_end = seg_start + static_cast<size_t>(seg.length);
-    const double pred = seg.Predict(key);
+    const SegmentRecord<K>& rec = segments_[floor];
+    const size_t seg_start = SegStart(rec);
+    const size_t seg_end = SegEnd(rec);
+    const double pred = rec.seg.Predict(key);
     const size_t rank =
         pred <= static_cast<double>(seg_start)
             ? seg_start
             : std::min(seg_end - 1, static_cast<size_t>(pred));
     const size_t cap = reader_.meta().leaf_capacity;
-    if (const std::byte* frame =
-            pool_->Peek(reader_.LeafPageId(rank / cap))) {
+    if (const std::byte* frame = pool_->Peek(PageForRank(rec, rank))) {
       PrefetchRead(frame + kPageHeaderBytes +
-                   (rank % cap) * sizeof(LeafEntry<K>));
+                   ((rank - seg_start) % cap) * sizeof(LeafEntry<K>));
     }
+  }
+
+  // Appends the candidate page ids a Lookup(key) would fault: the whole
+  // error window under kWindow, just the clamped predicted page under
+  // kSingle.
+  void AppendLookupPages(const K& key, std::vector<uint32_t>* ids) const {
+    const size_t floor = FloorSlot(key);
+    if (floor == kNoSlot) return;
+    const SegmentRecord<K>& rec = segments_[floor];
+    const size_t seg_start = SegStart(rec);
+    const auto [begin, end] = fitree::ErrorWindow(
+        rec.seg.Predict(key), reader_.meta().error, seg_start, SegEnd(rec));
+    if (begin >= end) return;
+    if (options_.fetch_strategy == FetchStrategy::kWindow) {
+      const uint32_t first = PageForRank(rec, begin);
+      const uint32_t last = PageForRank(rec, end - 1);
+      for (uint32_t id = first; id <= last; ++id) ids->push_back(id);
+      return;
+    }
+    const double pred = rec.seg.Predict(key);
+    const size_t rank = pred <= static_cast<double>(begin)
+                            ? begin
+                            : std::min(end - 1, static_cast<size_t>(pred));
+    ids->push_back(PageForRank(rec, rank));
+  }
+
+  // Stages the candidate pages of keys [i, ...) — capped at half the pool
+  // so the staged pins never starve the resolution's own fetches — in one
+  // batched read. Returns the index of the first unstaged key; `staged`
+  // receives the successfully pinned ids (caller unpins).
+  size_t StageChunk(const K* keys, size_t i, size_t n,
+                    std::vector<uint32_t>* staged) const {
+    const size_t budget = std::max<size_t>(1, pool_->frame_count() / 2);
+    staged->clear();
+    size_t j = i;
+    while (j < n && (j == i || staged->size() < budget)) {
+      AppendLookupPages(keys[j], staged);
+      ++j;
+    }
+    std::sort(staged->begin(), staged->end());
+    staged->erase(std::unique(staged->begin(), staged->end()),
+                  staged->end());
+    if (staged->empty()) return j;
+    std::vector<const std::byte*> outs(staged->size());
+    pool_->FetchBatch(staged->data(), staged->size(), outs.data());
+    // Keep only what actually pinned, so the unpin pass matches reality
+    // (a failed read inside the batch must not turn into pin underflow).
+    size_t kept = 0;
+    for (size_t k = 0; k < staged->size(); ++k) {
+      if (outs[k] != nullptr) (*staged)[kept++] = (*staged)[k];
+    }
+    staged->resize(kept);
+    return j;
+  }
+
+  void UnpinAll(const std::vector<uint32_t>& ids) const {
+    for (const uint32_t id : ids) (void)pool_->Unpin(id);
   }
 
   // Cursor over the concatenation of per-segment deltas — globally sorted
@@ -520,12 +995,35 @@ class DiskFitingTree {
   size_t LowerBoundAt(size_t floor, const K& key) const {
     if (base_size() == 0) return 0;
     if (floor == kNoSlot) return 0;  // key sorts before every indexed key
-    const PackedSegment<K>& seg = segments_[floor];
-    const size_t seg_start = static_cast<size_t>(seg.start);
-    const size_t seg_end = seg_start + static_cast<size_t>(seg.length);
-    const auto [begin, end] = fitree::ErrorWindow(
-        seg.Predict(key), reader_.meta().error, seg_start, seg_end);
-    return WindowLowerBound(begin, end, key);
+    const SegmentRecord<K>& rec = segments_[floor];
+    const auto [begin, end] =
+        fitree::ErrorWindow(rec.seg.Predict(key), reader_.meta().error,
+                            SegStart(rec), SegEnd(rec));
+    StageWindow(rec, begin, end);
+    return WindowLowerBound(rec, begin, end, key);
+  }
+
+  // Speculative multi-page fetch (kWindow): when the error window
+  // straddles page boundaries, stage every page it spans in one batched
+  // read before the search, so the straddle costs one overlapped batch
+  // instead of serial faults. Pins are dropped immediately — the pages
+  // stay resident for WindowLowerBound's own (now hitting) fetches.
+  void StageWindow(const SegmentRecord<K>& rec, size_t begin,
+                   size_t end) const {
+    if (options_.fetch_strategy != FetchStrategy::kWindow || begin >= end) {
+      return;
+    }
+    const uint32_t first = PageForRank(rec, begin);
+    const uint32_t last = PageForRank(rec, end - 1);
+    if (first == last) return;  // no straddle, the serial fault is one read
+    std::vector<uint32_t> ids;
+    ids.reserve(last - first + 1);
+    for (uint32_t id = first; id <= last; ++id) ids.push_back(id);
+    std::vector<const std::byte*> outs(ids.size());
+    pool_->FetchBatch(ids.data(), ids.size(), outs.data());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (outs[i] != nullptr) (void)pool_->Unpin(ids[i]);
+    }
   }
 
   // Paged lookup, delta overlay excluded.
@@ -543,43 +1041,53 @@ class DiskFitingTree {
   }
 
   std::optional<LeafEntry<K>> EntryAt(size_t rank) const {
+    const SegmentRecord<K>& rec = segments_[SegmentForRank(rank)];
     const size_t cap = reader_.meta().leaf_capacity;
-    PinnedPage pin(pool_.get(), reader_.LeafPageId(rank / cap));
+    PinnedPage pin(pool_.get(), PageForRank(rec, rank));
     if (!pin) {
       io_error_ = true;
       return std::nullopt;
     }
-    return LoadAs<LeafEntry<K>>(pin.data() + kPageHeaderBytes +
-                                (rank % cap) * sizeof(LeafEntry<K>));
+    return LoadAs<LeafEntry<K>>(
+        pin.data() + kPageHeaderBytes +
+        ((rank - SegStart(rec)) % cap) * sizeof(LeafEntry<K>));
   }
 
-  // Lower bound of `key` over ranks [begin, end), searching page by page:
-  // a window of w ranks touches at most w / leaf_capacity + 1 pages, and
-  // pages before the answer are dismissed by one key comparison each.
-  size_t WindowLowerBound(size_t begin, size_t end, const K& key) const {
+  // Lower bound of `key` over ranks [begin, end) — always within one
+  // segment, because ErrorWindow clamps to the segment — searching page by
+  // page: a window of w ranks touches at most w / leaf_capacity + 1 pages,
+  // and pages before the answer are dismissed by one key comparison each.
+  size_t WindowLowerBound(const SegmentRecord<K>& rec, size_t begin,
+                          size_t end, const K& key) const {
     // Self time here is pure compute: the page faults this search triggers
     // are nested page_io spans (buffer_pool.h) and subtract out.
     telemetry::ScopedPhase phase(telemetry::Engine::kDisk,
                                  telemetry::Phase::kWindowSearch);
     if (begin >= end) return begin;
     const size_t cap = reader_.meta().leaf_capacity;
-    for (uint64_t leaf = begin / cap; leaf <= (end - 1) / cap; ++leaf) {
-      const size_t slice_begin = std::max(begin, static_cast<size_t>(leaf) * cap);
-      const size_t slice_end = std::min(end, (static_cast<size_t>(leaf) + 1) * cap);
-      PinnedPage pin(pool_.get(), reader_.LeafPageId(leaf));
+    const size_t seg_start = SegStart(rec);
+    for (uint64_t leaf = (begin - seg_start) / cap;
+         leaf <= (end - 1 - seg_start) / cap; ++leaf) {
+      const size_t slice_begin =
+          std::max(begin, seg_start + static_cast<size_t>(leaf) * cap);
+      const size_t slice_end =
+          std::min(end, seg_start + (static_cast<size_t>(leaf) + 1) * cap);
+      PinnedPage pin(pool_.get(),
+                     static_cast<uint32_t>(rec.first_leaf_page + leaf));
       if (!pin) {
         io_error_ = true;
         return end;
       }
       const auto key_at = [&](size_t rank) {
         return LoadAs<K>(pin.data() + kPageHeaderBytes +
-                         (rank % cap) * sizeof(LeafEntry<K>));
+                         ((rank - seg_start) % cap) * sizeof(LeafEntry<K>));
       };
       if (key_at(slice_end - 1) < key) continue;  // answer is further right
       if (options_.search_policy == SearchPolicy::kSimd) {
         // Branchless narrow over in-page ranks, then a strided vector
         // count over the packed {key, payload} records. The slice never
-        // crosses the page, so b % cap + m stays within the pinned frame.
+        // crosses the page, so the offset of b plus m entries stays within
+        // the pinned frame.
         size_t b = slice_begin;
         size_t m = slice_end - slice_begin;
         while (m > simd::kSimdWindowKeys) {
@@ -588,7 +1096,8 @@ class DiskFitingTree {
           m -= half;
         }
         const std::byte* base =
-            pin.data() + kPageHeaderBytes + (b % cap) * sizeof(LeafEntry<K>);
+            pin.data() + kPageHeaderBytes +
+            ((b - seg_start) % cap) * sizeof(LeafEntry<K>);
         return b + simd::CountLessStrided(base, sizeof(LeafEntry<K>), m, key);
       }
       size_t lo = slice_begin, hi = slice_end;
@@ -609,13 +1118,15 @@ class DiskFitingTree {
   Options options_;
   SegmentFileReader<K> reader_;
   std::unique_ptr<BufferPool> pool_;
-  std::vector<PackedSegment<K>> segments_;
+  std::vector<SegmentRecord<K>> segments_;
   btree::BTreeMap<K, uint32_t, 16, 16> directory_;
   FlatKeyIndex<K> flat_index_;  // same entries, read-path descent form
   std::vector<DeltaMap> deltas_;  // parallel to segments_ (>= 1 slot)
+  std::set<K> compact_pending_;   // first keys of queued segments (dedup)
   size_t delta_entries_ = 0;      // live + tombstone entries across slots
   size_t size_ = 0;               // live keys: base + inserts - deletes
   uint64_t compactions_ = 0;
+  uint64_t incremental_compactions_ = 0;
   uint64_t last_compact_ns_ = 0;          // most recent Compact() duration
   uint64_t compact_pages_rewritten_ = 0;  // cumulative across compactions
   mutable bool io_error_ = false;  // set by const reads on failed faults

@@ -6,6 +6,8 @@
 #ifndef FITREE_STORAGE_PAGE_H_
 #define FITREE_STORAGE_PAGE_H_
 
+#include <cstdlib>
+
 #include <array>
 #include <cstddef>
 #include <cstdint>
@@ -17,7 +19,15 @@ inline constexpr size_t kDefaultPageBytes = 4096;
 // Small enough that tests can force multi-page files from tiny datasets,
 // large enough that every page type fits its header plus one record.
 inline constexpr size_t kMinPageBytes = 128;
-inline constexpr uint16_t kPageFormatVersion = 1;
+// Version 2 (ISSUE 10): ping-pong meta slots in pages 0-1 and per-segment
+// leaf-page addressing, enabling crash-safe append-and-republish
+// compaction. Version-1 files are rejected at Open.
+inline constexpr uint16_t kPageFormatVersion = 2;
+
+// O_DIRECT requires the destination buffer, the file offset, and the
+// transfer size to be multiples of the device's logical block size.
+// Aligning every page buffer to 4096 satisfies any block size in practice.
+inline constexpr size_t kDirectIoAlignment = 4096;
 
 enum class PageType : uint16_t {
   kMeta = 1,          // page 0: file-wide metadata (SegmentFileMeta)
@@ -107,6 +117,14 @@ inline bool VerifyPage(const std::byte* page, size_t page_bytes,
   return true;
 }
 
+// One entry of a batched page read: filled in by the caller (page id +
+// destination), answered by the source (ok).
+struct PageReadRequest {
+  uint32_t page_id = 0;
+  std::byte* out = nullptr;
+  bool ok = false;
+};
+
 // Source of verified page reads for the buffer pool: implemented by
 // SegmentFileReader (pread + VerifyPage) and by in-memory fakes in tests.
 class PageSource {
@@ -116,6 +134,57 @@ class PageSource {
   // Fills `out` (page_bytes() long) with page `page_id`. Returns false on
   // I/O failure or page verification failure; `out` is then unspecified.
   virtual bool ReadPageInto(uint32_t page_id, std::byte* out) = 0;
+
+  // Batched form: resolves all `n` requests, setting each request's `ok`.
+  // The base implementation reads serially; SegmentFileReader overrides it
+  // to submit every read before waiting on any (storage/async_io.h), which
+  // is what lets a batch of independent lookups overlap their page faults.
+  virtual void ReadPagesInto(PageReadRequest* reqs, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      reqs[i].ok = ReadPageInto(reqs[i].page_id, reqs[i].out);
+    }
+  }
+};
+
+// Page-granular aligned allocation (kDirectIoAlignment) so pool frames and
+// scratch buffers are always O_DIRECT-legal destinations. Size is rounded
+// up to the alignment because aligned_alloc requires it.
+class AlignedBytes {
+ public:
+  AlignedBytes() = default;
+  explicit AlignedBytes(size_t n) : size_(n) {
+    const size_t rounded =
+        (n + kDirectIoAlignment - 1) / kDirectIoAlignment * kDirectIoAlignment;
+    data_ = static_cast<std::byte*>(
+        std::aligned_alloc(kDirectIoAlignment, rounded));
+    std::memset(data_, 0, rounded);
+  }
+  ~AlignedBytes() { std::free(data_); }
+
+  AlignedBytes(AlignedBytes&& o) noexcept : data_(o.data_), size_(o.size_) {
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  AlignedBytes& operator=(AlignedBytes&& o) noexcept {
+    if (this != &o) {
+      std::free(data_);
+      data_ = o.data_;
+      size_ = o.size_;
+      o.data_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+  AlignedBytes(const AlignedBytes&) = delete;
+  AlignedBytes& operator=(const AlignedBytes&) = delete;
+
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  std::byte* data_ = nullptr;
+  size_t size_ = 0;
 };
 
 }  // namespace fitree::storage

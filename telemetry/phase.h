@@ -45,6 +45,7 @@ enum class Phase : uint8_t {
   kBufferProbe,       // per-segment insert-buffer probe (buffered/concurrent)
   kDeltaProbe,        // disk engine's in-memory delta-overlay probe
   kPageIo,            // buffer-pool miss: read + verify one page
+  kPageIoBatch,       // batched miss handling: submit all, then wait + verify
   kMergeResegment,    // buffer merge + shrinking-cone resegmentation
   kCompact,           // disk base-file rewrite absorbing the delta
   kEpochReclaim,      // epoch-based reclamation sweep
@@ -56,7 +57,7 @@ enum class Phase : uint8_t {
   kShardQueueWait,    // enqueue-to-dequeue time in the shard's op queue
   kShardExec,         // engine call on the shard worker (probe + publish)
 };
-inline constexpr size_t kNumPhases = 11;
+inline constexpr size_t kNumPhases = 12;
 
 inline constexpr const char* PhaseName(Phase p) {
   switch (p) {
@@ -65,6 +66,7 @@ inline constexpr const char* PhaseName(Phase p) {
     case Phase::kBufferProbe: return "buffer_probe";
     case Phase::kDeltaProbe: return "delta_probe";
     case Phase::kPageIo: return "page_io";
+    case Phase::kPageIoBatch: return "page_io_batch";
     case Phase::kMergeResegment: return "merge_resegment";
     case Phase::kCompact: return "compact";
     case Phase::kEpochReclaim: return "epoch_reclaim";

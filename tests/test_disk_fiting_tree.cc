@@ -5,6 +5,7 @@
 // Compact(), and the shared randomized differential driver.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstdio>
@@ -40,8 +41,11 @@ using fitree::testing::RunCrudDifferential;
 
 constexpr size_t kPageBytes = 256;  // 15 entries/page: tiny data, many pages
 
+// Per-process suffix: ctest registers this binary twice (full suite and
+// the `property`-labelled *CrudProperty* filter) and runs them in parallel,
+// so shared fixture filenames would race.
 std::string TempPath(const std::string& name) {
-  return testing::TempDir() + "/" + name;
+  return testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
 }
 
 // Irregular gaps (IoT's day/night jumps) exercise long and short segments.

@@ -176,7 +176,7 @@ TEST(IndexApiContract, ScanRangeReturnsEmittedCount) {
   ExpectScanCountsMatch(*mutexed, 30, 300);
 }
 
-// --- StaticFitingTree Update rename (+ deprecated alias) ------------------
+// --- StaticFitingTree Update (payload overwrite, no insert path) ----------
 
 TEST(IndexApiContract, StaticUpdateRenamed) {
   std::vector<int64_t> keys = {10, 20, 30, 40};
@@ -185,11 +185,7 @@ TEST(IndexApiContract, StaticUpdateRenamed) {
   EXPECT_EQ(tree->Lookup(20), std::optional<uint64_t>(999));
   EXPECT_FALSE(tree->Update(25, 1));  // absent key: no insert path
 
-  // The deprecated spelling stays source-compatible for one release.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_TRUE(tree->UpdatePayload(30, 777));
-#pragma GCC diagnostic pop
+  EXPECT_TRUE(tree->Update(30, 777));
   EXPECT_EQ(tree->Lookup(30), std::optional<uint64_t>(777));
 }
 

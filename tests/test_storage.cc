@@ -36,6 +36,7 @@ using fitree::storage::PinnedPage;
 using fitree::storage::SealPage;
 using fitree::storage::SegmentFileOptions;
 using fitree::storage::SegmentFileReader;
+using fitree::storage::SegmentRecord;
 using fitree::storage::VerifyPage;
 
 constexpr size_t kPageBytes = 256;  // small pages force multi-page files
@@ -122,7 +123,7 @@ TEST(BufferPool, CountsHitsAndMisses) {
     const std::byte* page = pool.Fetch(id);
     ASSERT_NE(page, nullptr);
     EXPECT_EQ(LoadAs<unsigned char>(page + kPageHeaderBytes), id);
-    pool.Unpin(id);
+    EXPECT_TRUE(pool.Unpin(id));
   }
   EXPECT_EQ(pool.stats().cache_misses, 2u);
   EXPECT_EQ(pool.stats().cache_hits, 3u);
@@ -141,7 +142,7 @@ TEST(BufferPool, EvictsWhenCacheSmallerThanFile) {
       const std::byte* page = pool.Fetch(id);
       ASSERT_NE(page, nullptr);
       EXPECT_EQ(LoadAs<unsigned char>(page + kPageHeaderBytes), id);
-      pool.Unpin(id);
+      EXPECT_TRUE(pool.Unpin(id));
     }
   }
   EXPECT_EQ(pool.stats().cache_misses, 16u);
@@ -158,7 +159,7 @@ TEST(BufferPool, ClockGivesReusedPagesASecondChance) {
   BufferPool pool(&source, kPageBytes, 3);
   const auto touch = [&](uint32_t id) {
     ASSERT_NE(pool.Fetch(id), nullptr);
-    pool.Unpin(id);
+    EXPECT_TRUE(pool.Unpin(id));
   };
   // Page 0 is re-referenced between sweeps of {1,2,3}; its reference bit
   // keeps it resident while 1..3 rotate through the other two frames.
@@ -179,11 +180,11 @@ TEST(BufferPool, PinnedPagesAreNeverEvicted) {
   for (uint32_t id = 1; id < 16; ++id) {
     const std::byte* page = pool.Fetch(id);
     ASSERT_NE(page, nullptr);
-    pool.Unpin(id);
+    EXPECT_TRUE(pool.Unpin(id));
   }
   EXPECT_TRUE(pool.Contains(0));
   EXPECT_EQ(LoadAs<unsigned char>(pinned + kPageHeaderBytes), 0u);
-  pool.Unpin(0);
+  EXPECT_TRUE(pool.Unpin(0));
 }
 
 TEST(BufferPool, AllFramesPinnedFailsCleanly) {
@@ -192,10 +193,10 @@ TEST(BufferPool, AllFramesPinnedFailsCleanly) {
   ASSERT_NE(pool.Fetch(0), nullptr);
   ASSERT_NE(pool.Fetch(1), nullptr);
   EXPECT_EQ(pool.Fetch(2), nullptr);  // no evictable frame
-  pool.Unpin(1);
+  EXPECT_TRUE(pool.Unpin(1));
   EXPECT_NE(pool.Fetch(2), nullptr);  // frame freed, fetch succeeds
-  pool.Unpin(2);
-  pool.Unpin(0);
+  EXPECT_TRUE(pool.Unpin(2));
+  EXPECT_TRUE(pool.Unpin(0));
 }
 
 TEST(BufferPool, FailedReadReturnsNullAndStaysUncached) {
@@ -208,7 +209,91 @@ TEST(BufferPool, FailedReadReturnsNullAndStaysUncached) {
   EXPECT_EQ(pool.stats().pages_read, 0u);
   // The pool still works for healthy pages afterwards.
   ASSERT_NE(pool.Fetch(1), nullptr);
-  pool.Unpin(1);
+  EXPECT_TRUE(pool.Unpin(1));
+}
+
+TEST(BufferPool, UnpinMisuseReturnsFalseWithoutStateDamage) {
+  FakeSource source(4);
+  BufferPool pool(&source, kPageBytes, 2);
+  // Non-resident page: hard error in every build type, state untouched.
+  EXPECT_FALSE(pool.Unpin(3));
+  ASSERT_NE(pool.Fetch(0), nullptr);
+  EXPECT_TRUE(pool.Unpin(0));
+  // Pin already at zero: underflow is rejected, not wrapped.
+  EXPECT_FALSE(pool.Unpin(0));
+  // The frame is still healthy: fetch + unpin cycle works.
+  ASSERT_NE(pool.Fetch(0), nullptr);
+  EXPECT_TRUE(pool.Unpin(0));
+  EXPECT_EQ(pool.stats().pages_read, 1u);
+}
+
+TEST(BufferPool, FetchBatchStagesHitsAndMissesInOnePass) {
+  FakeSource source(8);
+  BufferPool pool(&source, kPageBytes, 4);
+  ASSERT_NE(pool.Fetch(1), nullptr);  // pre-resident page -> batch hit
+  EXPECT_TRUE(pool.Unpin(1));
+  const uint32_t ids[] = {1, 3, 5};
+  const std::byte* out[3] = {};
+  EXPECT_EQ(pool.FetchBatch(ids, 3, out), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_NE(out[i], nullptr);
+    EXPECT_EQ(LoadAs<unsigned char>(out[i] + kPageHeaderBytes), ids[i]);
+    EXPECT_TRUE(pool.Unpin(ids[i]));
+  }
+  EXPECT_EQ(pool.stats().cache_hits, 1u);  // the batch's hit on resident page 1
+  EXPECT_EQ(pool.stats().cache_misses, 1u + 2u);
+  EXPECT_EQ(source.reads(), 3u);  // each distinct page read exactly once
+}
+
+TEST(BufferPool, FetchBatchDuplicatesShareOneFrameAndRead) {
+  FakeSource source(8);
+  BufferPool pool(&source, kPageBytes, 4);
+  const uint32_t ids[] = {2, 2, 2};
+  const std::byte* out[3] = {};
+  EXPECT_EQ(pool.FetchBatch(ids, 3, out), 3u);
+  EXPECT_EQ(out[0], out[1]);
+  EXPECT_EQ(out[1], out[2]);
+  EXPECT_EQ(source.reads(), 1u);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(pool.Unpin(2));
+  EXPECT_FALSE(pool.Unpin(2));  // exactly three pins were taken
+}
+
+TEST(BufferPool, FetchBatchFailedReadRollsBackItsFrame) {
+  FakeSource source(8);
+  source.FailPage(5);
+  BufferPool pool(&source, kPageBytes, 4);
+  const uint32_t ids[] = {4, 5, 5, 6};
+  const std::byte* out[4] = {};
+  // The healthy pages stage; both requests for the failed page are nulled
+  // (including the duplicate that pinned the pending frame).
+  EXPECT_EQ(pool.FetchBatch(ids, 4, out), 2u);
+  ASSERT_NE(out[0], nullptr);
+  EXPECT_EQ(out[1], nullptr);
+  EXPECT_EQ(out[2], nullptr);
+  ASSERT_NE(out[3], nullptr);
+  EXPECT_FALSE(pool.Contains(5));
+  EXPECT_FALSE(pool.Unpin(5));  // rollback left no pins behind
+  EXPECT_TRUE(pool.Unpin(4));
+  EXPECT_TRUE(pool.Unpin(6));
+  // The failed frame is reusable afterwards.
+  ASSERT_NE(pool.Fetch(7), nullptr);
+  EXPECT_TRUE(pool.Unpin(7));
+}
+
+TEST(BufferPool, FetchBatchMoreMissesThanFramesStagesWhatFits) {
+  FakeSource source(8);
+  BufferPool pool(&source, kPageBytes, 2);
+  const uint32_t ids[] = {0, 1, 2, 3};
+  const std::byte* out[4] = {};
+  // Two frames, four distinct pages: the first two stage pinned, the rest
+  // report failure instead of evicting pinned frames.
+  EXPECT_EQ(pool.FetchBatch(ids, 4, out), 2u);
+  ASSERT_NE(out[0], nullptr);
+  ASSERT_NE(out[1], nullptr);
+  EXPECT_EQ(out[2], nullptr);
+  EXPECT_EQ(out[3], nullptr);
+  EXPECT_TRUE(pool.Unpin(0));
+  EXPECT_TRUE(pool.Unpin(1));
 }
 
 TEST(SegmentFile, WriteReopenRoundTripsMetaAndSegments) {
@@ -226,9 +311,19 @@ TEST(SegmentFile, WriteReopenRoundTripsMetaAndSegments) {
   EXPECT_EQ(reader.meta().page_bytes, kPageBytes);
   EXPECT_DOUBLE_EQ(reader.meta().error, 8.0);
 
-  std::vector<PackedSegment<int64_t>> reloaded;
+  std::vector<SegmentRecord<int64_t>> reloaded;
   ASSERT_TRUE(reader.ReadSegmentTable(&reloaded));
-  EXPECT_EQ(reloaded, exported);
+  ASSERT_EQ(reloaded.size(), exported.size());
+  // Fresh files lay segments out back to back starting at the first leaf
+  // page, each segment page-aligned (v2 addressing).
+  uint64_t next_page = reader.meta().leaf_first_page;
+  const size_t cap = reader.meta().leaf_capacity;
+  for (size_t i = 0; i < reloaded.size(); ++i) {
+    EXPECT_EQ(reloaded[i].seg, exported[i]);
+    EXPECT_EQ(reloaded[i].first_leaf_page, next_page);
+    next_page += (exported[i].length + cap - 1) / cap;
+  }
+  EXPECT_EQ(next_page, reader.meta().total_pages);
   std::remove(path.c_str());
 }
 
@@ -313,24 +408,36 @@ TEST(SegmentFile, CorruptedPageIsRejectedByReaderAndPool) {
 
   BufferPool pool(&reader, kPageBytes, 4);
   EXPECT_NE(pool.Fetch(reader.LeafPageId(0)), nullptr);
-  pool.Unpin(reader.LeafPageId(0));
+  EXPECT_TRUE(pool.Unpin(reader.LeafPageId(0)));
   EXPECT_EQ(pool.Fetch(victim), nullptr);
   EXPECT_FALSE(pool.Contains(victim));
   std::remove(path.c_str());
 }
 
-TEST(SegmentFile, CorruptedMetaFailsOpen) {
+TEST(SegmentFile, CorruptedMetaFailsOpenOnlyWhenBothSlotsDie) {
   const auto keys = EveryThird(100);
   const auto tree = StaticFitingTree<int64_t>::Create(keys, 8.0);
   const std::string path = TempPath("badmeta.fit");
   ASSERT_TRUE(fitree::storage::WriteIndexFile(path, *tree,
                                               SegmentFileOptions{kPageBytes}));
-  std::FILE* f = std::fopen(path.c_str(), "r+b");
-  ASSERT_NE(f, nullptr);
-  ASSERT_EQ(std::fseek(f, kPageHeaderBytes, SEEK_SET), 0);  // magic field
-  std::fputc('X', f);
-  std::fclose(f);
+  const auto corrupt_slot = [&](uint32_t slot) {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(slot) * kPageBytes +
+                                kPageHeaderBytes,
+                         SEEK_SET),
+              0);  // magic field
+    std::fputc('X', f);
+    std::fclose(f);
+  };
+  // One torn slot is survivable: the ping-pong twin still opens the file.
+  corrupt_slot(0);
   SegmentFileReader<int64_t> reader;
+  EXPECT_TRUE(reader.Open(path)) << reader.error_message();
+  EXPECT_EQ(reader.meta().key_count, keys.size());
+  reader.Close();
+  // Both slots torn: nothing left to trust.
+  corrupt_slot(1);
   EXPECT_FALSE(reader.Open(path));
   std::remove(path.c_str());
 }

@@ -483,6 +483,7 @@ TEST(Phase, NestedSpansRecordSelfTimeChildrenExcluded) {
       reg.phase_latency(Engine::kStatic, Phase::kEpochReclaim).Snapshot();
 
   constexpr uint64_t kMs = 1'000'000;
+  const uint64_t wall_start = NowNs();
   {
     ScopedOp op(Engine::kStatic, Op::kLookup);
     ScopedPhase outer(Engine::kStatic, Phase::kCompact);
@@ -493,6 +494,7 @@ TEST(Phase, NestedSpansRecordSelfTimeChildrenExcluded) {
     }
     SpinFor(1 * kMs);
   }
+  const uint64_t wall_inclusive = NowNs() - wall_start;
 
   const auto outer_delta =
       reg.phase_latency(Engine::kStatic, Phase::kCompact)
@@ -504,14 +506,17 @@ TEST(Phase, NestedSpansRecordSelfTimeChildrenExcluded) {
           .DeltaSince(child_before);
   ASSERT_EQ(outer_delta.total, 1u);
   ASSERT_EQ(child_delta.total, 1u);
-  // The child saw its full 8 ms; the outer span's SELF time is ~2 ms —
-  // well below the 10 ms inclusive time, proving the child subtracted.
-  // Margins are generous (spins only bound from below; scheduler noise
-  // only lengthens) but 5 ms cleanly separates 2 ms self from 10 ms
-  // inclusive.
+  // The child saw its full 8 ms; the outer span's SELF time is ~2 ms.
+  // No absolute upper bound is noise-proof (preemption on a loaded
+  // runner stretches the 2 ms of spinning arbitrarily), but self =
+  // inclusive - child always holds, and the wall-clocked inclusive
+  // time measured around the block grows with the same noise: self
+  // must stay at least the child's full 8 ms spin below it (1 ms slack
+  // for the clock reads outside the span).
   EXPECT_GE(child_delta.PercentileNs(50.0), 8 * kMs);
   EXPECT_GE(outer_delta.PercentileNs(50.0), 2 * kMs);
-  EXPECT_LE(outer_delta.PercentileNs(50.0), 5 * kMs);
+  EXPECT_LE(outer_delta.PercentileNs(50.0),
+            wall_inclusive - 8 * kMs + 1 * kMs);
   SetSamplePeriodForTest(64);
 }
 
